@@ -1,0 +1,143 @@
+// Package sha3afa's root benchmark harness: one testing.B target per
+// table and figure of the paper (see DESIGN.md's experiment index).
+// Each bench runs a scaled-down version of the corresponding emitter
+// in internal/campaign; the full-size versions are regenerated with
+// `go run ./cmd/afa -experiment <id>`.
+package sha3afa
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"sha3afa/internal/campaign"
+	"sha3afa/internal/core"
+	"sha3afa/internal/countermeasure"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/sat"
+)
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkTable1FaultsToRecover — T1: AFA vs DFA fault counts under
+// the single-byte model. Scaled to one seed and the two modes that
+// bracket the digest-length range.
+func BenchmarkTable1FaultsToRecover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		afa := campaign.RunAFA(keccak.SHA3_512, fault.Byte, 1000, campaign.AFAOptions{MaxFaults: 60})
+		dfaRun := campaign.RunDFAOracle(keccak.SHA3_512, fault.Byte, 1000, 400)
+		if afa.Recovered && dfaRun.Recovered && dfaRun.FaultsUsed <= afa.FaultsUsed {
+			b.Fatalf("T1 shape violated: oracle DFA used %d faults, AFA %d", dfaRun.FaultsUsed, afa.FaultsUsed)
+		}
+		b.ReportMetric(boolMetric(afa.Recovered), "afa-recovered")
+		b.ReportMetric(float64(afa.FaultsUsed), "afa-faults")
+		b.ReportMetric(float64(dfaRun.FaultsUsed), "dfa-faults")
+	}
+}
+
+// BenchmarkTable2Relaxed16 — T2: AFA under 16-bit faults (SHA3-512
+// cell; the full four-mode table is `cmd/afa -experiment t2`).
+func BenchmarkTable2Relaxed16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := campaign.RunAFA(keccak.SHA3_512, fault.Word16, 2000, campaign.AFAOptions{MaxFaults: 60})
+		b.ReportMetric(boolMetric(run.Recovered), "recovered")
+		b.ReportMetric(float64(run.FaultsUsed), "faults")
+	}
+}
+
+// BenchmarkTable3Relaxed32 — T3: AFA on SHA3-512 under 32-bit faults.
+// The widest model yields the hardest solves per observation, so the
+// bench variant caps every SAT call at 60 s and enumerates fewer
+// candidates; the unbounded run is `cmd/afa -experiment t3`.
+func BenchmarkTable3Relaxed32(b *testing.B) {
+	cfg := core.DefaultConfig(keccak.SHA3_512, fault.Word32)
+	cfg.SolverOptions = sat.Options{Timeout: 60 * time.Second}
+	cfg.MaxCandidates = 3
+	for i := 0; i < b.N; i++ {
+		run := campaign.RunAFA(keccak.SHA3_512, fault.Word32, 3000,
+			campaign.AFAOptions{MaxFaults: 16, Config: &cfg})
+		b.ReportMetric(boolMetric(run.Recovered), "recovered")
+		b.ReportMetric(float64(run.FaultsUsed), "faults")
+	}
+}
+
+// BenchmarkTable4Identification — T4: DFA unique-identification rate
+// for single faults (the AFA column is measured inside T1 runs).
+func BenchmarkTable4Identification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		campaign.Table4(io.Discard, 10, 0)
+	}
+}
+
+// BenchmarkFigure1SuccessRate — F1: success-rate curve (one seed per
+// mode, SHA3-384/512 cells).
+func BenchmarkFigure1SuccessRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []keccak.Mode{keccak.SHA3_384, keccak.SHA3_512} {
+			run := campaign.RunAFA(mode, fault.Byte, 5000, campaign.AFAOptions{MaxFaults: 60})
+			b.ReportMetric(float64(run.FaultsUsed), mode.String()+"-faults")
+		}
+	}
+}
+
+// BenchmarkFigure2SolveTime — F2: per-step solve times on SHA3-512.
+func BenchmarkFigure2SolveTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		steps := campaign.RunAFADetailed(keccak.SHA3_512, fault.Byte, 6000, 40)
+		if len(steps) == 0 {
+			b.Fatal("F2: no solve steps recorded")
+		}
+	}
+}
+
+// BenchmarkFigure3BitsRecovered — F3: information accumulation
+// (scaled: 10 faults, 16 sampled bits).
+func BenchmarkFigure3BitsRecovered(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		campaign.Figure3(io.Discard, keccak.SHA3_512, 10, 16)
+	}
+}
+
+// BenchmarkFigure4CNFSize — F4: CNF instance sizes (no solving).
+func BenchmarkFigure4CNFSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		campaign.Figure4(io.Discard, 2)
+	}
+}
+
+// BenchmarkAblationEncoding — A1: cone-of-influence pruning effect.
+func BenchmarkAblationEncoding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		campaign.AblationEncoding(io.Discard)
+	}
+}
+
+// BenchmarkAblationSolver — A2: CDCL feature ablation on a fixed
+// attack instance.
+func BenchmarkAblationSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		campaign.AblationSolver(io.Discard, 4)
+	}
+}
+
+// BenchmarkCountermeasure — C1: detection-rate evaluation of the
+// protection extension.
+func BenchmarkCountermeasure(b *testing.B) {
+	msg := []byte("countermeasure bench")
+	inj := fault.NewInjector(fault.Byte, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta := inj.Sample().Delta()
+		dTemp := countermeasure.TemporalRedundancy(keccak.SHA3_256, msg, 4, 22, &delta)
+		if !dTemp.Detected {
+			b.Fatal("temporal redundancy missed a guarded fault")
+		}
+		countermeasure.ParityGuard(keccak.SHA3_256, msg, 22, &delta)
+	}
+}

@@ -1,0 +1,79 @@
+// Command cnf-export builds an AFA attack instance and writes it in
+// DIMACS CNF — the workaround for handing the algebra to an external
+// SAT solver (the paper used an off-the-shelf solver; Go has none, so
+// the instances this repository solves internally can be exported for
+// cross-checking).
+//
+// The first 1600 variables of the exported instance are the bits of
+// the χ input of round 22, in keccak bit order.
+//
+// Usage:
+//
+//	cnf-export -mode SHA3-512 -model byte -faults 6 -seed 1 -o instance.cnf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sha3afa/internal/core"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+func main() {
+	modeName := flag.String("mode", "SHA3-512", "SHA-3 mode")
+	modelName := flag.String("model", "byte", "fault model")
+	faults := flag.Int("faults", 6, "number of faulty observations to encode")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	msgStr := flag.String("msg", "cnf export message", "message to attack")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	mode, err := keccak.ParseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	model, err := fault.Parse(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	msg := []byte(*msgStr)
+	correct, injs := fault.Campaign(mode, msg, model, 22, *faults, *seed)
+	b := core.NewBuilder(core.DefaultConfig(mode, model))
+	if err := b.AddCorrect(correct); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, inj := range injs {
+		if err := b.AddFaulty(inj.FaultyDigest, -1); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	comments := []string{
+		fmt.Sprintf("AFA instance: %s, %s fault model, %d faults, seed %d", mode, model, *faults, *seed),
+		"vars 1..1600 = chi input of round 22 (keccak bit order)",
+	}
+	if err := b.Formula().WriteDIMACS(w, comments...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := b.Formula().ComputeStats()
+	fmt.Fprintf(os.Stderr, "exported %s\n", st)
+}

@@ -1,0 +1,68 @@
+// Command keccak-trace dumps the round-by-round internal states of
+// the final Keccak permutation of a hash computation — the ground
+// truth the fault analysis recovers. Useful for debugging attack
+// encodings and for teaching the round structure.
+//
+// Usage:
+//
+//	echo -n "message" | keccak-trace -mode SHA3-256 -rounds 22,23
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sha3afa/internal/keccak"
+)
+
+func main() {
+	modeName := flag.String("mode", "SHA3-256", "SHA-3 mode")
+	roundsArg := flag.String("rounds", "", "comma-separated round entries to print (default: all); 24 = output")
+	chiInput := flag.Bool("chi-input", false, "also print χ inputs (the attack's recovery target)")
+	flag.Parse()
+
+	mode, err := keccak.ParseMode(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	msg, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var rounds []int
+	if *roundsArg == "" {
+		for r := 0; r <= keccak.NumRounds; r++ {
+			rounds = append(rounds, r)
+		}
+	} else {
+		for _, tok := range strings.Split(*roundsArg, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || r < 0 || r > keccak.NumRounds {
+				fmt.Fprintf(os.Stderr, "bad round %q\n", tok)
+				os.Exit(2)
+			}
+			rounds = append(rounds, r)
+		}
+	}
+
+	tr := keccak.TraceHash(mode, msg)
+	fmt.Printf("%s of %d input bytes; digest = %x\n\n", mode, len(msg), tr.Digest)
+	for _, r := range rounds {
+		if r < keccak.NumRounds {
+			fmt.Printf("-- θ input of round %d --\n%s\n", r, tr.Rounds[r].String())
+			if *chiInput {
+				ci := tr.ChiInput(r)
+				fmt.Printf("-- χ input of round %d --\n%s\n", r, ci.String())
+			}
+		} else {
+			fmt.Printf("-- permutation output --\n%s\n", tr.Rounds[r].String())
+		}
+	}
+}

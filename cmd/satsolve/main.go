@@ -1,0 +1,75 @@
+// Command satsolve is a standalone DIMACS CNF solver built on the
+// repository's CDCL engine. Output follows SAT-competition
+// conventions (s/v lines).
+//
+// Usage:
+//
+//	satsolve [-timeout 10m] [-stats] instance.cnf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sha3afa/internal/cnf"
+	"sha3afa/internal/sat"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 0, "solving timeout (0 = none)")
+	stats := flag.Bool("stats", false, "print solver statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: satsolve [flags] instance.cnf")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	form, err := cnf.ParseDIMACS(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	solver := sat.FromFormula(form, sat.Options{Timeout: *timeout})
+	start := time.Now()
+	st := solver.Solve()
+	elapsed := time.Since(start)
+
+	if *stats {
+		s := solver.Stats()
+		fmt.Printf("c time=%v conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d\n",
+			elapsed.Round(time.Millisecond), s.Conflicts, s.Decisions, s.Propagations, s.Restarts, s.Learned)
+	}
+	switch st {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		model := solver.Model()
+		line := "v"
+		for v := 1; v < len(model); v++ {
+			lit := v
+			if !model[v] {
+				lit = -v
+			}
+			line += fmt.Sprintf(" %d", lit)
+			if len(line) > 70 {
+				fmt.Println(line)
+				line = "v"
+			}
+		}
+		fmt.Println(line + " 0")
+		os.Exit(10)
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+		os.Exit(0)
+	}
+}

@@ -1,0 +1,73 @@
+// Command sha3sum hashes files (or stdin) under any SHA-3 / SHAKE
+// mode using this repository's from-scratch Keccak implementation.
+//
+// Usage:
+//
+//	sha3sum [-a SHA3-256] [-n outputBytes] [file ...]
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sha3afa/internal/keccak"
+)
+
+func main() {
+	algo := flag.String("a", "SHA3-256", "mode: SHA3-224/256/384/512, SHAKE128, SHAKE256")
+	outLen := flag.Int("n", 0, "output bytes for SHAKE modes (default: mode's security length)")
+	flag.Parse()
+
+	mode, err := keccak.ParseMode(*algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	hashOne := func(r io.Reader, name string) error {
+		if mode.IsXOF() {
+			data, err := io.ReadAll(r)
+			if err != nil {
+				return err
+			}
+			n := *outLen
+			if n <= 0 {
+				n = mode.DigestBits() / 8
+			}
+			fmt.Printf("%s  %s\n", hex.EncodeToString(keccak.ShakeSum(mode, data, n)), name)
+			return nil
+		}
+		h := keccak.New(mode)
+		if _, err := io.Copy(h, r); err != nil {
+			return err
+		}
+		fmt.Printf("%s  %s\n", hex.EncodeToString(h.Sum(nil)), name)
+		return nil
+	}
+
+	if flag.NArg() == 0 {
+		if err := hashOne(os.Stdin, "-"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+			continue
+		}
+		if err := hashOne(f, path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
+		f.Close()
+	}
+	os.Exit(exit)
+}

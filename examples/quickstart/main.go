@@ -1,0 +1,70 @@
+// Quickstart: hash a message, simulate a relaxed single-byte fault
+// campaign against the penultimate Keccak round, and run algebraic
+// fault analysis until the full 1600-bit internal state — and from it
+// the message itself — is recovered.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sha3afa/internal/core"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+func main() {
+	mode := keccak.SHA3_512
+	msg := []byte("attack at dawn")
+
+	// The victim computes a digest; the attacker observes it.
+	correct := keccak.Sum(mode, msg)
+	fmt.Printf("victim digest (%s): %x...\n", mode, correct[:16])
+
+	// The attacker injects relaxed single-byte faults at the θ input
+	// of round 22 — position and value unknown to the analysis.
+	const budget = 60
+	_, injections := fault.Campaign(mode, msg, fault.Byte, 22, budget, 42)
+
+	atk := core.NewAttack(core.DefaultConfig(mode, fault.Byte))
+	if err := atk.AddCorrect(correct); err != nil {
+		panic(err)
+	}
+
+	start := time.Now()
+	for i, inj := range injections {
+		if err := atk.AddInjection(inj); err != nil {
+			panic(err)
+		}
+		res, err := atk.Solve()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("fault %2d: %-10s (CNF %6d vars / %7d clauses, solve %v)\n",
+			i+1, res.Status, res.Vars, res.Clauses, res.SolveTime.Round(time.Millisecond))
+		if res.Status != core.Recovered {
+			continue
+		}
+
+		fmt.Printf("\nrecovered χ input of round 22 after %d faults in %v\n",
+			i+1, time.Since(start).Round(time.Millisecond))
+		recovered, ok := atk.ExtractMessage(res.ChiInput)
+		fmt.Printf("recovered message: %q (ok=%v)\n", recovered, ok)
+
+		faults, err := atk.RecoveredFaults()
+		if err != nil {
+			panic(err)
+		}
+		exact := 0
+		for k, rf := range faults {
+			if !rf.Silent && rf.Fault == injections[k].Fault {
+				exact++
+			}
+		}
+		fmt.Printf("faults identified exactly (position + value): %d/%d\n", exact, len(faults))
+		return
+	}
+	fmt.Println("budget exhausted without recovery — increase the fault budget")
+}

@@ -1,0 +1,3 @@
+module sha3afa
+
+go 1.22

@@ -1,0 +1,249 @@
+package bitmat
+
+import "fmt"
+
+// Mat is a dense matrix over GF(2) with rows stored as bit vectors.
+type Mat struct {
+	rows, cols int
+	data       []*Vec
+}
+
+// NewMat returns a zero rows×cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("bitmat: negative matrix dimension")
+	}
+	m := &Mat{rows: rows, cols: cols, data: make([]*Vec, rows)}
+	for i := range m.data {
+		m.data[i] = NewVec(cols)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, true)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Mat) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Mat) Cols() int { return m.cols }
+
+// Get returns element (i,j).
+func (m *Mat) Get(i, j int) bool { return m.data[i].Get(j) }
+
+// Set assigns element (i,j).
+func (m *Mat) Set(i, j int, b bool) { m.data[i].Set(j, b) }
+
+// Row returns row i (shared storage, not a copy).
+func (m *Mat) Row(i int) *Vec { return m.data[i] }
+
+// SetRow replaces row i with a copy of v.
+func (m *Mat) SetRow(i int, v *Vec) {
+	if v.Len() != m.cols {
+		panic("bitmat: SetRow length mismatch")
+	}
+	m.data[i] = v.Clone()
+}
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	c := &Mat{rows: m.rows, cols: m.cols, data: make([]*Vec, m.rows)}
+	for i, r := range m.data {
+		c.data[i] = r.Clone()
+	}
+	return c
+}
+
+// Equal reports whether both matrices hold the same bits.
+func (m *Mat) Equal(o *Mat) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if !m.data[i].Equal(o.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MulVec returns m·v (length = rows).
+func (m *Mat) MulVec(v *Vec) *Vec {
+	if v.Len() != m.cols {
+		panic("bitmat: MulVec dimension mismatch")
+	}
+	out := NewVec(m.rows)
+	for i, r := range m.data {
+		if r.Dot(v) {
+			out.Set(i, true)
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m·o.
+func (m *Mat) Mul(o *Mat) *Mat {
+	if m.cols != o.rows {
+		panic("bitmat: Mul dimension mismatch")
+	}
+	out := NewMat(m.rows, o.cols)
+	// Accumulate rows of o selected by bits of each row of m: this is
+	// the word-parallel formulation (row_i(out) = XOR of rows of o
+	// where row_i(m) has a 1).
+	for i := 0; i < m.rows; i++ {
+		acc := out.data[i]
+		r := m.data[i]
+		for j := r.FirstSet(); j >= 0; j = r.NextSet(j + 1) {
+			acc.Xor(o.data[j])
+		}
+	}
+	return out
+}
+
+// Transpose returns the transposed matrix.
+func (m *Mat) Transpose() *Mat {
+	t := NewMat(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		r := m.data[i]
+		for j := r.FirstSet(); j >= 0; j = r.NextSet(j + 1) {
+			t.data[j].Set(i, true)
+		}
+	}
+	return t
+}
+
+// RowReduce performs in-place Gaussian elimination to reduced row
+// echelon form and returns the pivot column for each pivot row (in
+// order) — its length is the rank.
+func (m *Mat) RowReduce() []int {
+	pivots := make([]int, 0, min(m.rows, m.cols))
+	row := 0
+	for col := 0; col < m.cols && row < m.rows; col++ {
+		// Find a pivot in this column at or below `row`.
+		sel := -1
+		for i := row; i < m.rows; i++ {
+			if m.data[i].Get(col) {
+				sel = i
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		m.data[row], m.data[sel] = m.data[sel], m.data[row]
+		for i := 0; i < m.rows; i++ {
+			if i != row && m.data[i].Get(col) {
+				m.data[i].Xor(m.data[row])
+			}
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return pivots
+}
+
+// Rank returns the GF(2) rank (m is not modified).
+func (m *Mat) Rank() int {
+	c := m.Clone()
+	return len(c.RowReduce())
+}
+
+// Inverse returns the inverse of a square matrix, or an error if the
+// matrix is singular. m is not modified.
+func (m *Mat) Inverse() (*Mat, error) {
+	if m.rows != m.cols {
+		panic("bitmat: Inverse of non-square matrix")
+	}
+	n := m.rows
+	// Augment [m | I] and reduce.
+	aug := NewMat(n, 2*n)
+	for i := 0; i < n; i++ {
+		r := m.data[i]
+		for j := r.FirstSet(); j >= 0; j = r.NextSet(j + 1) {
+			aug.data[i].Set(j, true)
+		}
+		aug.data[i].Set(n+i, true)
+	}
+	pivots := aug.RowReduce()
+	// Only pivots landing in the left block witness rank of m; a pivot
+	// in the identity block means m itself was rank-deficient.
+	rank := 0
+	for _, p := range pivots {
+		if p < n {
+			rank++
+		}
+	}
+	if rank != n {
+		return nil, fmt.Errorf("bitmat: singular matrix (rank %d < %d)", rank, n)
+	}
+	inv := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := aug.data[i].NextSet(n); j >= 0; j = aug.data[i].NextSet(j + 1) {
+			inv.data[i].Set(j-n, true)
+		}
+	}
+	return inv, nil
+}
+
+// Solve finds one solution x of m·x = b, plus a basis of the kernel of
+// m (so the full solution set is x + span(kernel)). It returns an error
+// if the system is inconsistent. m and b are not modified.
+func (m *Mat) Solve(b *Vec) (x *Vec, kernel []*Vec, err error) {
+	if b.Len() != m.rows {
+		panic("bitmat: Solve dimension mismatch")
+	}
+	aug := NewMat(m.rows, m.cols+1)
+	for i := 0; i < m.rows; i++ {
+		r := m.data[i]
+		for j := r.FirstSet(); j >= 0; j = r.NextSet(j + 1) {
+			aug.data[i].Set(j, true)
+		}
+		if b.Get(i) {
+			aug.data[i].Set(m.cols, true)
+		}
+	}
+	pivots := aug.RowReduce()
+	// Inconsistency: a pivot in the augmented column.
+	isPivot := make(map[int]bool, len(pivots))
+	for _, p := range pivots {
+		if p == m.cols {
+			return nil, nil, fmt.Errorf("bitmat: inconsistent linear system")
+		}
+		isPivot[p] = true
+	}
+	x = NewVec(m.cols)
+	for row, p := range pivots {
+		if aug.data[row].Get(m.cols) {
+			x.Set(p, true)
+		}
+	}
+	// Kernel basis: one vector per free column.
+	for col := 0; col < m.cols; col++ {
+		if isPivot[col] {
+			continue
+		}
+		k := NewVec(m.cols)
+		k.Set(col, true)
+		for row, p := range pivots {
+			if aug.data[row].Get(col) {
+				k.Set(p, true)
+			}
+		}
+		kernel = append(kernel, k)
+	}
+	return x, kernel, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, rows, cols int) *Mat {
+	m := NewMat(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Intn(2) == 1 {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// randInvertible keeps sampling until the matrix has full rank.
+func randInvertible(rng *rand.Rand, n int) *Mat {
+	for {
+		m := randMat(rng, n, n)
+		if m.Rank() == n {
+			return m
+		}
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	id := Identity(97)
+	v := randVec(rng, 97)
+	if !id.MulVec(v).Equal(v) {
+		t.Fatal("I·v != v")
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		a := randMat(rng, 13, 17)
+		b := randMat(rng, 17, 9)
+		c := randMat(rng, 9, 21)
+		left := a.Mul(b).Mul(c)
+		right := a.Mul(b.Mul(c))
+		if !left.Equal(right) {
+			t.Fatal("(AB)C != A(BC)")
+		}
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMat(rng, 20, 30)
+	v := randVec(rng, 30)
+	// Represent v as a 30x1 matrix and compare.
+	vm := NewMat(30, 1)
+	for i := 0; i < 30; i++ {
+		vm.Set(i, 0, v.Get(i))
+	}
+	prod := a.Mul(vm)
+	av := a.MulVec(v)
+	for i := 0; i < 20; i++ {
+		if prod.Get(i, 0) != av.Get(i) {
+			t.Fatalf("MulVec disagrees with Mul at row %d", i)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randMat(rng, 33, 65)
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Fatal("transpose twice is not identity")
+	}
+}
+
+func TestTransposeDotProperty(t *testing.T) {
+	// <Av, w> == <v, A^T w>
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		a := randMat(rng, 24, 40)
+		v := randVec(rng, 40)
+		w := randVec(rng, 24)
+		if a.MulVec(v).Dot(w) != a.Transpose().MulVec(w).Dot(v) {
+			t.Fatal("<Av,w> != <v,A^T w>")
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 2, 5, 16, 64, 100} {
+		m := randInvertible(rng, n)
+		inv, err := m.Inverse()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !m.Mul(inv).Equal(Identity(n)) {
+			t.Fatalf("n=%d: M·M⁻¹ != I", n)
+		}
+		if !inv.Mul(m).Equal(Identity(n)) {
+			t.Fatalf("n=%d: M⁻¹·M != I", n)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := NewMat(3, 3)
+	m.Set(0, 0, true)
+	m.Set(1, 1, true)
+	// Row 2 zero: singular.
+	if _, err := m.Inverse(); err == nil {
+		t.Fatal("expected error inverting singular matrix")
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := randMat(rng, 10, 40)
+	r := m.Rank()
+	if r < 0 || r > 10 {
+		t.Fatalf("rank %d out of bounds", r)
+	}
+	if Identity(17).Rank() != 17 {
+		t.Fatal("identity rank wrong")
+	}
+	if NewMat(5, 5).Rank() != 0 {
+		t.Fatal("zero matrix rank wrong")
+	}
+}
+
+func TestRowReducePreservesRowSpace(t *testing.T) {
+	// After reduction, M·x = b solvable iff it was before; check via a
+	// known solution.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		m := randMat(rng, 15, 25)
+		x := randVec(rng, 25)
+		b := m.MulVec(x)
+		sol, kernel, err := m.Solve(b)
+		if err != nil {
+			t.Fatalf("consistent system reported inconsistent: %v", err)
+		}
+		if !m.MulVec(sol).Equal(b) {
+			t.Fatal("Solve returned a non-solution")
+		}
+		for _, k := range kernel {
+			if !m.MulVec(k).IsZero() {
+				t.Fatal("kernel vector not in kernel")
+			}
+		}
+		// rank + nullity = cols
+		if m.Rank()+len(kernel) != 25 {
+			t.Fatalf("rank-nullity violated: %d + %d != 25", m.Rank(), len(kernel))
+		}
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	m := NewMat(2, 2)
+	m.Set(0, 0, true)
+	m.Set(1, 0, true) // same equation twice
+	b := NewVec(2)
+	b.Set(0, true) // x0 = 1 and x0 = 0: contradiction
+	if _, _, err := m.Solve(b); err == nil {
+		t.Fatal("expected inconsistency error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Identity(4)
+	c := m.Clone()
+	c.Set(0, 1, true)
+	if m.Get(0, 1) {
+		t.Fatal("Clone shares storage with original")
+	}
+}

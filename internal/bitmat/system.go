@@ -1,0 +1,158 @@
+package bitmat
+
+// LinearSystem incrementally accumulates GF(2) linear equations over a
+// fixed set of variables and keeps them in row-echelon form, so callers
+// can cheaply ask for the current rank, for the set of variables whose
+// value is already forced, and for consistency.
+//
+// This is the engine behind the DFA baseline: every injected fault
+// yields a batch of affine equations over internal-state bits, and the
+// attack succeeds once the forced set covers the whole state.
+type LinearSystem struct {
+	n        int
+	rows     []*Vec // each row: n coefficient bits + 1 rhs bit at index n
+	pivot    []int  // pivot column of rows[i]
+	conflict bool
+}
+
+// NewLinearSystem returns an empty system over n variables.
+func NewLinearSystem(n int) *LinearSystem {
+	return &LinearSystem{n: n}
+}
+
+// NumVars returns the number of variables.
+func (s *LinearSystem) NumVars() int { return s.n }
+
+// Rank returns the number of independent equations absorbed so far.
+func (s *LinearSystem) Rank() int { return len(s.rows) }
+
+// Inconsistent reports whether a contradictory equation (0 = 1) was added.
+func (s *LinearSystem) Inconsistent() bool { return s.conflict }
+
+// AddEquation adds the equation <coeffs, x> = rhs. It returns true if
+// the equation was independent (increased the rank). Adding to an
+// inconsistent system is a no-op returning false.
+func (s *LinearSystem) AddEquation(coeffs *Vec, rhs bool) bool {
+	if coeffs.Len() != s.n {
+		panic("bitmat: AddEquation arity mismatch")
+	}
+	if s.conflict {
+		return false
+	}
+	row := NewVec(s.n + 1)
+	for i := coeffs.FirstSet(); i >= 0; i = coeffs.NextSet(i + 1) {
+		row.Set(i, true)
+	}
+	if rhs {
+		row.Set(s.n, true)
+	}
+	// Reduce against existing rows.
+	for i, r := range s.rows {
+		p := s.pivot[i]
+		if row.Get(p) {
+			row.Xor(r)
+		}
+	}
+	lead := row.FirstSet()
+	switch {
+	case lead < 0:
+		return false // redundant: 0 = 0
+	case lead == s.n:
+		s.conflict = true // 0 = 1
+		return false
+	}
+	// Back-substitute into earlier rows to keep reduced form.
+	for i, r := range s.rows {
+		if r.Get(lead) {
+			r.Xor(row)
+			_ = i
+		}
+	}
+	s.rows = append(s.rows, row)
+	s.pivot = append(s.pivot, lead)
+	return true
+}
+
+// Forced returns, for every variable whose value is already implied by
+// the system, that value. In reduced row-echelon form a pivot variable
+// is forced exactly when its row involves no other variable.
+func (s *LinearSystem) Forced() map[int]bool {
+	out := make(map[int]bool)
+	if s.conflict {
+		return out
+	}
+	for i, r := range s.rows {
+		p := s.pivot[i]
+		// Row forced iff the only coefficient bit set is the pivot.
+		if next := r.NextSet(p + 1); next < 0 || next == s.n {
+			out[p] = r.Get(s.n)
+		}
+	}
+	return out
+}
+
+// Contradicts reports whether adding the equation <coeffs, x> = rhs
+// would make the system inconsistent, without modifying it.
+func (s *LinearSystem) Contradicts(coeffs *Vec, rhs bool) bool {
+	if coeffs.Len() != s.n {
+		panic("bitmat: Contradicts arity mismatch")
+	}
+	if s.conflict {
+		return true
+	}
+	row := NewVec(s.n + 1)
+	for i := coeffs.FirstSet(); i >= 0; i = coeffs.NextSet(i + 1) {
+		row.Set(i, true)
+	}
+	if rhs {
+		row.Set(s.n, true)
+	}
+	for i, r := range s.rows {
+		if row.Get(s.pivot[i]) {
+			row.Xor(r)
+		}
+	}
+	return row.FirstSet() == s.n
+}
+
+// Assign fixes variable v to value b (adds the unit equation x_v = b).
+func (s *LinearSystem) Assign(v int, b bool) bool {
+	coeffs := NewVec(s.n)
+	coeffs.Set(v, true)
+	return s.AddEquation(coeffs, b)
+}
+
+// Solution returns a full assignment consistent with the system, with
+// free variables set to false, or nil if the system is inconsistent.
+func (s *LinearSystem) Solution() *Vec {
+	if s.conflict {
+		return nil
+	}
+	x := NewVec(s.n)
+	// Reduced form: pivot value = rhs XOR (free vars in the row, all 0).
+	for i, r := range s.rows {
+		if r.Get(s.n) {
+			x.Set(s.pivot[i], true)
+		}
+	}
+	return x
+}
+
+// Evaluate checks an assignment against every stored equation.
+func (s *LinearSystem) Evaluate(x *Vec) bool {
+	if x.Len() != s.n {
+		panic("bitmat: Evaluate arity mismatch")
+	}
+	for _, r := range s.rows {
+		parity := false
+		for i := r.FirstSet(); i >= 0 && i < s.n; i = r.NextSet(i + 1) {
+			if x.Get(i) {
+				parity = !parity
+			}
+		}
+		if parity != r.Get(s.n) {
+			return false
+		}
+	}
+	return true
+}

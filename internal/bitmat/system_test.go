@@ -1,0 +1,130 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLinearSystemBasic(t *testing.T) {
+	s := NewLinearSystem(3)
+	// x0 ^ x1 = 1
+	c := NewVec(3)
+	c.Set(0, true)
+	c.Set(1, true)
+	if !s.AddEquation(c, true) {
+		t.Fatal("first equation should be independent")
+	}
+	if s.Rank() != 1 {
+		t.Fatalf("rank = %d, want 1", s.Rank())
+	}
+	if len(s.Forced()) != 0 {
+		t.Fatal("nothing should be forced yet")
+	}
+	// x1 = 0
+	if !s.Assign(1, false) {
+		t.Fatal("assignment should be independent")
+	}
+	forced := s.Forced()
+	if v, ok := forced[0]; !ok || v != true {
+		t.Fatalf("x0 should be forced to 1, got %v", forced)
+	}
+	if v, ok := forced[1]; !ok || v != false {
+		t.Fatalf("x1 should be forced to 0, got %v", forced)
+	}
+}
+
+func TestLinearSystemRedundantAndConflict(t *testing.T) {
+	s := NewLinearSystem(2)
+	c := NewVec(2)
+	c.Set(0, true)
+	if !s.AddEquation(c, true) {
+		t.Fatal("independent equation rejected")
+	}
+	if s.AddEquation(c, true) {
+		t.Fatal("redundant equation reported independent")
+	}
+	if s.Inconsistent() {
+		t.Fatal("system should still be consistent")
+	}
+	if s.AddEquation(c, false) {
+		t.Fatal("conflicting equation reported independent")
+	}
+	if !s.Inconsistent() {
+		t.Fatal("conflict not detected")
+	}
+	if s.Solution() != nil {
+		t.Fatal("inconsistent system returned a solution")
+	}
+}
+
+func TestLinearSystemRecoversRandomSecret(t *testing.T) {
+	// Feed random equations generated from a hidden assignment; once the
+	// rank reaches n every variable must be forced to the secret value.
+	rng := rand.New(rand.NewSource(21))
+	const n = 64
+	secret := randVec(rng, n)
+	s := NewLinearSystem(n)
+	for s.Rank() < n {
+		coeffs := randVec(rng, n)
+		s.AddEquation(coeffs, coeffs.Dot(secret))
+		if s.Inconsistent() {
+			t.Fatal("consistent stream made system inconsistent")
+		}
+	}
+	forced := s.Forced()
+	if len(forced) != n {
+		t.Fatalf("full-rank system forced only %d/%d vars", len(forced), n)
+	}
+	for i := 0; i < n; i++ {
+		if forced[i] != secret.Get(i) {
+			t.Fatalf("var %d forced to wrong value", i)
+		}
+	}
+	sol := s.Solution()
+	if !sol.Equal(secret) {
+		t.Fatal("Solution() != secret at full rank")
+	}
+	if !s.Evaluate(secret) {
+		t.Fatal("secret does not satisfy its own equations")
+	}
+}
+
+func TestLinearSystemSolutionSatisfies(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	s := NewLinearSystem(40)
+	secret := randVec(rng, 40)
+	for i := 0; i < 25; i++ {
+		coeffs := randVec(rng, 40)
+		s.AddEquation(coeffs, coeffs.Dot(secret))
+	}
+	sol := s.Solution()
+	if sol == nil {
+		t.Fatal("no solution for consistent system")
+	}
+	if !s.Evaluate(sol) {
+		t.Fatal("Solution() does not satisfy system")
+	}
+}
+
+func TestLinearSystemForcedSubsetStable(t *testing.T) {
+	// Once a variable is forced, adding more consistent equations must
+	// never change its value.
+	rng := rand.New(rand.NewSource(23))
+	const n = 32
+	secret := randVec(rng, n)
+	s := NewLinearSystem(n)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		coeffs := randVec(rng, n)
+		s.AddEquation(coeffs, coeffs.Dot(secret))
+		for v, val := range s.Forced() {
+			if prev, ok := seen[v]; ok && prev != val {
+				t.Fatalf("forced value of var %d changed", v)
+			}
+			seen[v] = val
+			if val != secret.Get(v) {
+				t.Fatalf("var %d forced to non-secret value", v)
+			}
+		}
+	}
+}

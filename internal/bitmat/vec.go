@@ -1,0 +1,237 @@
+// Package bitmat provides dense linear algebra over GF(2): bit vectors,
+// bit matrices, Gaussian elimination, rank computation, matrix inversion
+// and linear-system solving.
+//
+// It is the numeric substrate for two parts of the reproduction: the
+// differential-fault-analysis baseline (which accumulates GF(2) linear
+// equations over state bits and needs rank/solve), and the inverse of
+// Keccak's θ step (a dense 1600×1600 linear map obtained by inverting
+// the θ matrix once).
+//
+// Vectors and matrices are packed 64 bits per word. All operations are
+// in-place unless the name says otherwise.
+package bitmat
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vec is a bit vector over GF(2), packed least-significant-bit first
+// into 64-bit words. The number of valid bits is tracked explicitly;
+// bits beyond N in the last word must be kept zero by all operations.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// NewVec returns a zero vector of n bits.
+func NewVec(n int) *Vec {
+	if n < 0 {
+		panic("bitmat: negative vector length")
+	}
+	return &Vec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vec) Len() int { return v.n }
+
+// Words exposes the backing words (read-only use expected).
+func (v *Vec) Words() []uint64 { return v.words }
+
+// Get returns bit i.
+func (v *Vec) Get(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitmat: Get index %d out of range [0,%d)", i, v.n))
+	}
+	return v.words[i>>6]>>(uint(i)&63)&1 == 1
+}
+
+// Set sets bit i to b.
+func (v *Vec) Set(i int, b bool) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitmat: Set index %d out of range [0,%d)", i, v.n))
+	}
+	mask := uint64(1) << (uint(i) & 63)
+	if b {
+		v.words[i>>6] |= mask
+	} else {
+		v.words[i>>6] &^= mask
+	}
+}
+
+// Flip toggles bit i.
+func (v *Vec) Flip(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitmat: Flip index %d out of range [0,%d)", i, v.n))
+	}
+	v.words[i>>6] ^= uint64(1) << (uint(i) & 63)
+}
+
+// Xor sets v ^= u. Both vectors must have the same length.
+func (v *Vec) Xor(u *Vec) {
+	if v.n != u.n {
+		panic("bitmat: Xor length mismatch")
+	}
+	for i, w := range u.words {
+		v.words[i] ^= w
+	}
+}
+
+// And sets v &= u. Both vectors must have the same length.
+func (v *Vec) And(u *Vec) {
+	if v.n != u.n {
+		panic("bitmat: And length mismatch")
+	}
+	for i, w := range u.words {
+		v.words[i] &= w
+	}
+}
+
+// Zero clears all bits.
+func (v *Vec) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// IsZero reports whether every bit is zero.
+func (v *Vec) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits.
+func (v *Vec) PopCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Dot returns the GF(2) inner product <v,u> (parity of the AND).
+func (v *Vec) Dot(u *Vec) bool {
+	if v.n != u.n {
+		panic("bitmat: Dot length mismatch")
+	}
+	var acc uint64
+	for i, w := range u.words {
+		acc ^= v.words[i] & w
+	}
+	return bits.OnesCount64(acc)&1 == 1
+}
+
+// Clone returns a deep copy of v.
+func (v *Vec) Clone() *Vec {
+	c := NewVec(v.n)
+	copy(c.words, v.words)
+	return c
+}
+
+// CopyFrom copies u into v. Lengths must match.
+func (v *Vec) CopyFrom(u *Vec) {
+	if v.n != u.n {
+		panic("bitmat: CopyFrom length mismatch")
+	}
+	copy(v.words, u.words)
+}
+
+// Equal reports whether v and u hold the same bits.
+func (v *Vec) Equal(u *Vec) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i, w := range u.words {
+		if v.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstSet returns the index of the lowest set bit, or -1 if none.
+func (v *Vec) FirstSet() int {
+	for i, w := range v.words {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextSet returns the index of the lowest set bit at or after from,
+// or -1 if none.
+func (v *Vec) NextSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= v.n {
+		return -1
+	}
+	wi := from >> 6
+	w := v.words[wi] >> (uint(from) & 63)
+	if w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for i := wi + 1; i < len(v.words); i++ {
+		if v.words[i] != 0 {
+			return i*64 + bits.TrailingZeros64(v.words[i])
+		}
+	}
+	return -1
+}
+
+// Support returns the indices of all set bits in increasing order.
+func (v *Vec) Support() []int {
+	out := make([]int, 0, v.PopCount())
+	for i := v.FirstSet(); i >= 0; i = v.NextSet(i + 1) {
+		out = append(out, i)
+	}
+	return out
+}
+
+// String renders the vector as a 0/1 string, bit 0 first.
+func (v *Vec) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// VecFromBits builds a vector from a bool slice.
+func VecFromBits(bits []bool) *Vec {
+	v := NewVec(len(bits))
+	for i, b := range bits {
+		if b {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// VecFromString parses a 0/1 string (bit 0 first).
+func VecFromString(s string) (*Vec, error) {
+	v := NewVec(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v.Set(i, true)
+		default:
+			return nil, fmt.Errorf("bitmat: invalid character %q at %d", s[i], i)
+		}
+	}
+	return v, nil
+}

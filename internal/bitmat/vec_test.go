@@ -1,0 +1,174 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) *Vec {
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func TestVecSetGet(t *testing.T) {
+	v := NewVec(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("fresh vector has bit %d set", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		v.Set(i, false)
+		if v.Get(i) {
+			t.Fatalf("bit %d still set after clear", i)
+		}
+	}
+}
+
+func TestVecFlip(t *testing.T) {
+	v := NewVec(70)
+	v.Flip(64)
+	if !v.Get(64) {
+		t.Fatal("Flip did not set bit 64")
+	}
+	v.Flip(64)
+	if v.Get(64) {
+		t.Fatal("double Flip did not restore bit 64")
+	}
+}
+
+func TestVecOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Get")
+		}
+	}()
+	NewVec(8).Get(8)
+}
+
+func TestVecXorSelfInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a := randVec(rng, n)
+		b := randVec(rng, n)
+		c := a.Clone()
+		c.Xor(b)
+		c.Xor(b)
+		if !c.Equal(a) {
+			t.Fatalf("xor twice is not identity (n=%d)", n)
+		}
+	}
+}
+
+func TestVecPopCountAndSupport(t *testing.T) {
+	v := NewVec(200)
+	idx := []int{0, 3, 63, 64, 100, 199}
+	for _, i := range idx {
+		v.Set(i, true)
+	}
+	if got := v.PopCount(); got != len(idx) {
+		t.Fatalf("PopCount = %d, want %d", got, len(idx))
+	}
+	sup := v.Support()
+	if len(sup) != len(idx) {
+		t.Fatalf("Support length = %d, want %d", len(sup), len(idx))
+	}
+	for i := range idx {
+		if sup[i] != idx[i] {
+			t.Fatalf("Support[%d] = %d, want %d", i, sup[i], idx[i])
+		}
+	}
+}
+
+func TestVecNextSet(t *testing.T) {
+	v := NewVec(256)
+	v.Set(5, true)
+	v.Set(64, true)
+	v.Set(255, true)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 255}, {255, 255},
+	}
+	for _, c := range cases {
+		if got := v.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	v.Set(255, false)
+	if got := v.NextSet(65); got != -1 {
+		t.Errorf("NextSet past last = %d, want -1", got)
+	}
+}
+
+func TestVecDotLinearity(t *testing.T) {
+	// <a^b, c> == <a,c> ^ <b,c> must hold for all vectors.
+	f := func(aw, bw, cw [3]uint64) bool {
+		a, b, c := NewVec(192), NewVec(192), NewVec(192)
+		copy(a.words, aw[:])
+		copy(b.words, bw[:])
+		copy(c.words, cw[:])
+		ab := a.Clone()
+		ab.Xor(b)
+		return ab.Dot(c) == (a.Dot(c) != b.Dot(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		v := randVec(rng, 1+rng.Intn(100))
+		back, err := VecFromString(v.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(v) {
+			t.Fatal("String/VecFromString round trip failed")
+		}
+	}
+	if _, err := VecFromString("01x"); err == nil {
+		t.Fatal("expected error for invalid character")
+	}
+}
+
+func TestVecFromBits(t *testing.T) {
+	v := VecFromBits([]bool{true, false, true})
+	if !v.Get(0) || v.Get(1) || !v.Get(2) {
+		t.Fatal("VecFromBits wrong bits")
+	}
+	if v.Len() != 3 {
+		t.Fatalf("len = %d, want 3", v.Len())
+	}
+}
+
+func TestVecAnd(t *testing.T) {
+	a, _ := VecFromString("1101")
+	b, _ := VecFromString("1011")
+	a.And(b)
+	if a.String() != "1001" {
+		t.Fatalf("And = %s, want 1001", a.String())
+	}
+}
+
+func TestVecZeroIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := randVec(rng, 129)
+	v.Set(100, true)
+	if v.IsZero() {
+		t.Fatal("nonzero vector reported zero")
+	}
+	v.Zero()
+	if !v.IsZero() {
+		t.Fatal("Zero() left bits set")
+	}
+}

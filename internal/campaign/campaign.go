@@ -1,0 +1,281 @@
+// Package campaign orchestrates the paper's experiments: repeated
+// attack runs over seeded random messages and fault streams, per-mode
+// and per-model sweeps, and emitters that print the rows of each table
+// and the series of each figure in DESIGN.md's experiment index.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"sha3afa/internal/core"
+	"sha3afa/internal/dfa"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// AFARun is the outcome of one AFA attack campaign.
+type AFARun struct {
+	Mode        keccak.Mode
+	Model       fault.Model
+	Seed        int64
+	Recovered   bool
+	FaultsUsed  int // faults consumed until recovery (== MaxFaults when not recovered)
+	TotalTime   time.Duration
+	SolveTime   time.Duration // cumulative SAT time
+	Vars        int           // final CNF size
+	Clauses     int
+	FaultsIdent int // faults whose (window,value) the final model reproduced exactly
+	MessageOK   bool
+}
+
+// AFAOptions controls one AFA campaign run.
+type AFAOptions struct {
+	MaxFaults int
+	// SolveEvery solves after every k-th fault (1 = after each). The
+	// first solve happens once the information-theoretic minimum
+	// number of faulty digests is available.
+	SolveEvery int
+	// MinFaults defers the first solve; 0 derives the information-
+	// theoretic minimum from digest and state sizes.
+	MinFaults int
+	// Config overrides; zero value uses core.DefaultConfig.
+	Config *core.Config
+}
+
+// randomMessage draws a single-block message for the mode.
+func randomMessage(mode keccak.Mode, rng *rand.Rand) []byte {
+	n := 1 + rng.Intn(mode.RateBytes()-1)
+	msg := make([]byte, n)
+	rng.Read(msg)
+	return msg
+}
+
+// minFaults returns the information-theoretic minimum number of
+// faulty digests before the state can possibly be pinned down.
+func minFaults(mode keccak.Mode) int {
+	d := mode.DigestBits()
+	need := keccak.StateBits - d // the correct digest gives d bits
+	k := (need + d - 1) / d
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// RunAFA executes one seeded AFA campaign: a random message, a stream
+// of faults under the model, solving until recovery or MaxFaults.
+func RunAFA(mode keccak.Mode, model fault.Model, seed int64, opts AFAOptions) AFARun {
+	run := AFARun{Mode: mode, Model: model, Seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	msg := randomMessage(mode, rng)
+	if opts.MaxFaults <= 0 {
+		opts.MaxFaults = 100
+	}
+	if opts.SolveEvery <= 0 {
+		// Wider fault models carry less information per observation
+		// and produce harder instances, so solving after every single
+		// fault wastes time: default to a model-scaled stride.
+		opts.SolveEvery = model.Width() / 8
+		if opts.SolveEvery < 1 {
+			opts.SolveEvery = 1
+		}
+	}
+	first := opts.MinFaults
+	if first <= 0 {
+		first = minFaults(mode)
+	}
+
+	correct, injs := fault.Campaign(mode, msg, model, 22, opts.MaxFaults, seed+1)
+	var cfg core.Config
+	if opts.Config != nil {
+		cfg = *opts.Config
+	} else {
+		cfg = core.DefaultConfig(mode, model)
+	}
+	cfg.Mode, cfg.Model = mode, model
+
+	atk := core.NewAttack(cfg)
+	start := time.Now()
+	if err := atk.AddCorrect(correct); err != nil {
+		panic(err)
+	}
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+	for i, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			panic(err)
+		}
+		n := i + 1
+		if n < first || (n-first)%opts.SolveEvery != 0 {
+			continue
+		}
+		res, err := atk.Solve()
+		if err != nil {
+			panic(err)
+		}
+		run.SolveTime += res.SolveTime
+		run.Vars, run.Clauses = res.Vars, res.Clauses
+		if res.Status == core.Recovered {
+			run.Recovered = res.ChiInput.Equal(&truth)
+			run.FaultsUsed = n
+			got, ok := atk.ExtractMessage(res.ChiInput)
+			run.MessageOK = ok && string(got) == string(msg)
+			if rfs, err := atk.RecoveredFaults(); err == nil {
+				for k, rf := range rfs {
+					if rf.Silent {
+						continue
+					}
+					// Compare by state difference so canonicalized
+					// sliding-window faults count as exact matches.
+					rd, td := rf.Fault.Delta(), injs[k].Fault.Delta()
+					if rd.Equal(&td) {
+						run.FaultsIdent++
+					}
+				}
+			}
+			run.TotalTime = time.Since(start)
+			return run
+		}
+	}
+	run.FaultsUsed = opts.MaxFaults
+	run.TotalTime = time.Since(start)
+	return run
+}
+
+// DFARun is the outcome of one DFA campaign.
+type DFARun struct {
+	Mode       keccak.Mode
+	Model      fault.Model
+	Seed       int64
+	Recovered  bool
+	FaultsUsed int
+	Identified int
+	Skipped    int
+	ForcedA    int
+	TotalTime  time.Duration
+	// Infeasible marks models DFA cannot process at all (identification
+	// space too large) — the paper's "DFA fails" entries.
+	Infeasible bool
+}
+
+// RunDFA executes one seeded DFA campaign mirroring RunAFA with
+// signature-based fault identification.
+func RunDFA(mode keccak.Mode, model fault.Model, seed int64, maxFaults int) DFARun {
+	return runDFA(mode, model, seed, maxFaults, false)
+}
+
+// RunDFAOracle executes a DFA campaign with oracle-identified faults —
+// the baseline's most favourable setting, isolating equation
+// extraction from identification.
+func RunDFAOracle(mode keccak.Mode, model fault.Model, seed int64, maxFaults int) DFARun {
+	return runDFA(mode, model, seed, maxFaults, true)
+}
+
+func runDFA(mode keccak.Mode, model fault.Model, seed int64, maxFaults int, oracle bool) DFARun {
+	run := DFARun{Mode: mode, Model: model, Seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	msg := randomMessage(mode, rng)
+	if maxFaults <= 0 {
+		maxFaults = 1000
+	}
+	correct, injs := fault.Campaign(mode, msg, model, 22, maxFaults, seed+1)
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	atk := dfa.NewAttack(mode, model)
+	atk.AddCorrect(correct)
+	start := time.Now()
+	for i, inj := range injs {
+		if oracle {
+			if err := atk.AddInjectionKnown(inj); err != nil {
+				panic(err)
+			}
+		} else if _, err := atk.AddInjection(inj); err != nil {
+			run.Infeasible = true
+			run.TotalTime = time.Since(start)
+			return run
+		}
+		snap := atk.Snapshot()
+		run.ForcedA = snap.ForcedA
+		run.Identified, run.Skipped = snap.Identified, snap.Skipped
+		if snap.Status == dfa.Recovered {
+			run.Recovered = snap.ChiInput.Equal(&truth)
+			run.FaultsUsed = i + 1
+			run.TotalTime = time.Since(start)
+			return run
+		}
+	}
+	run.FaultsUsed = maxFaults
+	run.TotalTime = time.Since(start)
+	return run
+}
+
+// Summary aggregates runs of one (mode, model, method) cell.
+type Summary struct {
+	Runs       int
+	Recovered  int
+	AvgFaults  float64 // over recovered runs
+	AvgTime    time.Duration
+	Infeasible bool
+}
+
+// SummarizeAFA folds AFA runs into a table cell.
+func SummarizeAFA(runs []AFARun) Summary {
+	var s Summary
+	s.Runs = len(runs)
+	var faults int
+	var total time.Duration
+	for _, r := range runs {
+		if r.Recovered {
+			s.Recovered++
+			faults += r.FaultsUsed
+			total += r.TotalTime
+		}
+	}
+	if s.Recovered > 0 {
+		s.AvgFaults = float64(faults) / float64(s.Recovered)
+		s.AvgTime = total / time.Duration(s.Recovered)
+	}
+	return s
+}
+
+// SummarizeDFA folds DFA runs into a table cell.
+func SummarizeDFA(runs []DFARun) Summary {
+	var s Summary
+	s.Runs = len(runs)
+	var faults int
+	var total time.Duration
+	for _, r := range runs {
+		if r.Infeasible {
+			s.Infeasible = true
+		}
+		if r.Recovered {
+			s.Recovered++
+			faults += r.FaultsUsed
+			total += r.TotalTime
+		}
+	}
+	if s.Recovered > 0 {
+		s.AvgFaults = float64(faults) / float64(s.Recovered)
+		s.AvgTime = total / time.Duration(s.Recovered)
+	}
+	return s
+}
+
+// Cell renders a summary the way the paper's tables do.
+func (s Summary) Cell() string {
+	if s.Infeasible {
+		return "infeasible"
+	}
+	if s.Recovered == 0 {
+		return "fail"
+	}
+	return fmt.Sprintf("%.1f faults / %s (%d/%d ok)",
+		s.AvgFaults, s.AvgTime.Round(time.Millisecond), s.Recovered, s.Runs)
+}
+
+// Fprintf is a small helper so emitters can target any writer.
+func Fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+func TestMinFaults(t *testing.T) {
+	want := map[keccak.Mode]int{
+		keccak.SHA3_224: 7, // (1600-224)/224 → 7
+		keccak.SHA3_256: 6,
+		keccak.SHA3_384: 4,
+		keccak.SHA3_512: 3,
+	}
+	for mode, w := range want {
+		if got := minFaults(mode); got != w {
+			t.Errorf("minFaults(%s) = %d, want %d", mode, got, w)
+		}
+	}
+}
+
+func TestRandomMessageFitsOneBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mode := range keccak.FixedModes {
+		for i := 0; i < 50; i++ {
+			msg := randomMessage(mode, rng)
+			if len(msg) == 0 || len(msg) >= mode.RateBytes() {
+				t.Fatalf("%s: message of %d bytes does not fit one padded block", mode, len(msg))
+			}
+		}
+	}
+}
+
+func TestSummaryCells(t *testing.T) {
+	s := SummarizeAFA([]AFARun{
+		{Recovered: true, FaultsUsed: 10, TotalTime: 2 * time.Second},
+		{Recovered: true, FaultsUsed: 20, TotalTime: 4 * time.Second},
+		{Recovered: false, FaultsUsed: 50},
+	})
+	if s.Runs != 3 || s.Recovered != 2 || s.AvgFaults != 15 || s.AvgTime != 3*time.Second {
+		t.Fatalf("bad AFA summary: %+v", s)
+	}
+	if !strings.Contains(s.Cell(), "15.0 faults") {
+		t.Fatalf("cell = %q", s.Cell())
+	}
+	if got := SummarizeDFA([]DFARun{{Infeasible: true}}).Cell(); got != "infeasible" {
+		t.Fatalf("infeasible cell = %q", got)
+	}
+	if got := SummarizeAFA([]AFARun{{Recovered: false}}).Cell(); got != "fail" {
+		t.Fatalf("fail cell = %q", got)
+	}
+}
+
+func TestFigure4Runs(t *testing.T) {
+	var sb strings.Builder
+	Figure4(&sb, 1)
+	out := sb.String()
+	for _, mode := range keccak.FixedModes {
+		if !strings.Contains(out, mode.String()) {
+			t.Fatalf("F4 missing row for %s:\n%s", mode, out)
+		}
+	}
+}
+
+func TestAblationEncodingRuns(t *testing.T) {
+	var sb strings.Builder
+	AblationEncoding(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "SHA3-224") || !strings.Contains(out, "pruned") {
+		t.Fatalf("A1 output malformed:\n%s", out)
+	}
+}
+
+func TestTableCountermeasureRuns(t *testing.T) {
+	var sb strings.Builder
+	TableCountermeasure(&sb, 20)
+	out := sb.String()
+	for _, want := range []string{"1-bit", "byte", "16-bit", "32-bit", "byte-unaligned"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("C1 missing row %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableStarvationRuns(t *testing.T) {
+	var sb strings.Builder
+	TableStarvation(&sb, 25)
+	out := sb.String()
+	if !strings.Contains(out, "unprotected") || !strings.Contains(out, "protected") {
+		t.Fatalf("C2 output malformed:\n%s", out)
+	}
+}
+
+func TestRunDFAWideModelInfeasible(t *testing.T) {
+	run := RunDFA(keccak.SHA3_512, fault.Word16, 1, 3)
+	if !run.Infeasible {
+		t.Fatal("DFA under 16-bit model should be infeasible")
+	}
+}
+
+func TestRunDFASingleBitProgress(t *testing.T) {
+	run := RunDFA(keccak.SHA3_512, fault.SingleBit, 2, 25)
+	if run.Infeasible {
+		t.Fatal("single-bit DFA infeasible")
+	}
+	if run.Identified == 0 || run.ForcedA == 0 {
+		t.Fatalf("DFA made no progress: %+v", run)
+	}
+}

@@ -1,0 +1,335 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"sha3afa/internal/cnf"
+	"sha3afa/internal/core"
+	"sha3afa/internal/dfa"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/sat"
+	"sha3afa/internal/symbolic"
+)
+
+// This file regenerates every table and figure in DESIGN.md's
+// experiment index. Each emitter takes size knobs so the bench harness
+// can run scaled-down versions and cmd/afa can run the full versions.
+
+// Table1 — faults needed to recover the χ input of round 22, AFA vs
+// DFA, under the single-byte fault model, for all four SHA-3 modes.
+func Table1(w io.Writer, seeds, afaMaxFaults, dfaMaxFaults int) {
+	fmt.Fprintf(w, "T1: faults to recover full state, single-byte model (seeds=%d)\n", seeds)
+	fmt.Fprintf(w, "%-10s | %-34s | %-34s | %-34s\n", "mode", "AFA (relaxed)", "DFA (relaxed ident.)", "DFA (oracle ident.)")
+	for _, mode := range keccak.FixedModes {
+		var afa []AFARun
+		var dfaRel, dfaOra []DFARun
+		// Shorter digests yield less information per fault: scale the
+		// budget and solve less often to keep the sweep tractable.
+		budget, stride := afaMaxFaults, 1
+		if mode.DigestBits() < 384 {
+			budget, stride = afaMaxFaults*2, 4
+		}
+		for s := 0; s < seeds; s++ {
+			afa = append(afa, RunAFA(mode, fault.Byte, int64(1000+s), AFAOptions{MaxFaults: budget, SolveEvery: stride}))
+			dfaRel = append(dfaRel, RunDFA(mode, fault.Byte, int64(1000+s), dfaMaxFaults))
+			dfaOra = append(dfaOra, RunDFAOracle(mode, fault.Byte, int64(1000+s), dfaMaxFaults))
+		}
+		fmt.Fprintf(w, "%-10s | %-34s | %-34s | %-34s\n",
+			mode, SummarizeAFA(afa).Cell(), SummarizeDFA(dfaRel).Cell(), SummarizeDFA(dfaOra).Cell())
+	}
+}
+
+// Table2 — AFA under the relaxed 16-bit fault model for all four
+// modes: faults needed and wall-clock time (the paper: all four modes
+// broken within several minutes).
+func Table2(w io.Writer, seeds, maxFaults int) {
+	fmt.Fprintf(w, "T2: AFA under 16-bit faults (seeds=%d)\n", seeds)
+	fmt.Fprintf(w, "%-10s | %-34s | DFA\n", "mode", "AFA")
+	for _, mode := range keccak.FixedModes {
+		var runs []AFARun
+		for s := 0; s < seeds; s++ {
+			runs = append(runs, RunAFA(mode, fault.Word16, int64(2000+s), AFAOptions{MaxFaults: maxFaults}))
+		}
+		dfaCell := "infeasible (identification space 100·2^16)"
+		fmt.Fprintf(w, "%-10s | %-34s | %s\n", mode, SummarizeAFA(runs).Cell(), dfaCell)
+	}
+}
+
+// Table3 — AFA on SHA3-512 under the 32-bit fault model.
+func Table3(w io.Writer, seeds, maxFaults int) {
+	fmt.Fprintf(w, "T3: AFA on SHA3-512 under 32-bit faults (seeds=%d)\n", seeds)
+	var runs []AFARun
+	for s := 0; s < seeds; s++ {
+		runs = append(runs, RunAFA(keccak.SHA3_512, fault.Word32, int64(3000+s), AFAOptions{MaxFaults: maxFaults}))
+	}
+	fmt.Fprintf(w, "SHA3-512   | %-34s | DFA: infeasible (identification space 50·2^32)\n",
+		SummarizeAFA(runs).Cell())
+}
+
+// Table4 — fault identification rates. For DFA: the fraction of single
+// injected faults whose (window, value) is pinned uniquely by
+// differential signatures. For AFA: the fraction of faults whose
+// (window, value) the recovered model reproduces exactly at the end of
+// a successful attack.
+func Table4(w io.Writer, trials int, afaSeeds int) {
+	fmt.Fprintf(w, "T4: fault identification rate (DFA trials=%d, AFA seeds=%d)\n", trials, afaSeeds)
+	fmt.Fprintf(w, "%-10s | %-8s | %-12s | %-12s\n", "mode", "model", "DFA unique", "AFA exact")
+	for _, mode := range []keccak.Mode{keccak.SHA3_256, keccak.SHA3_512} {
+		for _, m := range []fault.Model{fault.SingleBit, fault.Byte} {
+			rng := rand.New(rand.NewSource(42))
+			inj := fault.NewInjector(m, 43)
+			unique := 0
+			for i := 0; i < trials; i++ {
+				msg := randomMessage(mode, rng)
+				correct := keccak.Sum(mode, msg)
+				f := inj.Sample()
+				delta := f.Delta()
+				faulty := keccak.HashWithFault(mode, msg, 22, &delta)
+				if _, n, err := dfa.IdentifyUnique(m, correct, faulty, mode.DigestBits()); err == nil && n == 1 {
+					unique++
+				}
+			}
+			identified, total := 0, 0
+			for s := 0; s < afaSeeds; s++ {
+				budget := 60
+				if mode.DigestBits() < 384 {
+					budget = 110
+				}
+				run := RunAFA(mode, m, int64(4000+s), AFAOptions{MaxFaults: budget, SolveEvery: 3})
+				if run.Recovered {
+					identified += run.FaultsIdent
+					total += run.FaultsUsed
+				}
+			}
+			afaCell := "n/a"
+			if total > 0 {
+				afaCell = fmt.Sprintf("%.0f%%", 100*float64(identified)/float64(total))
+			}
+			fmt.Fprintf(w, "%-10s | %-8s | %5.0f%%       | %-12s\n",
+				mode, m, 100*float64(unique)/float64(trials), afaCell)
+		}
+	}
+}
+
+// Figure1 — success rate versus number of faults (byte model): the
+// cumulative fraction of seeds recovered within k faults.
+func Figure1(w io.Writer, seeds, maxFaults, step int) {
+	fmt.Fprintf(w, "F1: success rate vs faults, byte model (seeds=%d)\n", seeds)
+	used := map[keccak.Mode][]int{}
+	for _, mode := range keccak.FixedModes {
+		for s := 0; s < seeds; s++ {
+			stride := 2
+			if mode.DigestBits() < 384 {
+				stride = 5
+			}
+			run := RunAFA(mode, fault.Byte, int64(5000+s), AFAOptions{MaxFaults: maxFaults, SolveEvery: stride})
+			n := run.FaultsUsed
+			if !run.Recovered {
+				n = maxFaults + 1
+			}
+			used[mode] = append(used[mode], n)
+		}
+	}
+	fmt.Fprintf(w, "%-8s", "faults")
+	for _, mode := range keccak.FixedModes {
+		fmt.Fprintf(w, " | %-10s", mode)
+	}
+	fmt.Fprintln(w)
+	for k := step; k <= maxFaults; k += step {
+		fmt.Fprintf(w, "%-8d", k)
+		for _, mode := range keccak.FixedModes {
+			got := 0
+			for _, n := range used[mode] {
+				if n <= k {
+					got++
+				}
+			}
+			fmt.Fprintf(w, " | %8.0f%%", 100*float64(got)/float64(seeds))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// StepStat captures one incremental solve during an attack.
+type StepStat struct {
+	Faults    int
+	SolveTime time.Duration
+	Vars      int
+	Clauses   int
+	Status    core.Status
+}
+
+// RunAFADetailed runs one campaign recording every incremental solve.
+func RunAFADetailed(mode keccak.Mode, model fault.Model, seed int64, maxFaults int) []StepStat {
+	rng := rand.New(rand.NewSource(seed))
+	msg := randomMessage(mode, rng)
+	correct, injs := fault.Campaign(mode, msg, model, 22, maxFaults, seed+1)
+	atk := core.NewAttack(core.DefaultConfig(mode, model))
+	if err := atk.AddCorrect(correct); err != nil {
+		panic(err)
+	}
+	var out []StepStat
+	first := minFaults(mode)
+	stride := model.Width() / 8
+	if stride < 1 {
+		stride = 1
+	}
+	for i, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			panic(err)
+		}
+		if i+1 < first || (i+1-first)%stride != 0 {
+			continue
+		}
+		res, err := atk.Solve()
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, StepStat{
+			Faults: i + 1, SolveTime: res.SolveTime,
+			Vars: res.Vars, Clauses: res.Clauses, Status: res.Status,
+		})
+		if res.Status == core.Recovered {
+			break
+		}
+	}
+	return out
+}
+
+// Figure2 — SAT solving time versus number of faults, per fault model,
+// on SHA3-512.
+func Figure2(w io.Writer, maxFaults int) {
+	fmt.Fprintf(w, "F2: solve time vs faults (SHA3-512)\n")
+	fmt.Fprintf(w, "%-8s | %-8s | %-12s | %-10s | %-10s | %s\n",
+		"model", "faults", "solve", "vars", "clauses", "status")
+	for _, m := range []fault.Model{fault.Byte, fault.Word16, fault.Word32} {
+		for _, st := range RunAFADetailed(keccak.SHA3_512, m, 6000, maxFaults) {
+			fmt.Fprintf(w, "%-8s | %-8d | %-12s | %-10d | %-10d | %s\n",
+				m, st.Faults, st.SolveTime.Round(time.Millisecond), st.Vars, st.Clauses, st.Status)
+		}
+	}
+}
+
+// Figure3 — information accumulation: determined state bits (sampled)
+// versus number of faults, AFA probe against DFA forced-bit counts.
+func Figure3(w io.Writer, mode keccak.Mode, maxFaults, sample int) {
+	fmt.Fprintf(w, "F3: determined state bits vs faults (%s, byte model, sampled %d/1600)\n", mode, sample)
+	rng := rand.New(rand.NewSource(7000))
+	msg := randomMessage(mode, rng)
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, maxFaults, 7001)
+
+	idx := rng.Perm(keccak.StateBits)[:sample]
+	atk := core.NewAttack(core.DefaultConfig(mode, fault.Byte))
+	atk.AddCorrect(correct)
+	dfaAtk := dfa.NewAttack(mode, fault.Byte)
+	dfaAtk.AddCorrect(correct)
+
+	fmt.Fprintf(w, "%-8s | %-22s | %s\n", "faults", "AFA determined (est.)", "DFA forced")
+	for i, inj := range injs {
+		atk.AddInjection(inj)
+		dfaAtk.AddInjection(inj)
+		if _, err := atk.Solve(); err != nil {
+			panic(err)
+		}
+		det, err := atk.ProbeDetermined(idx)
+		if err != nil {
+			det = 0
+		}
+		est := float64(det) / float64(sample) * keccak.StateBits
+		fmt.Fprintf(w, "%-8d | %6.0f / 1600          | %d / 1600\n",
+			i+1, est, dfaAtk.ForcedBits())
+	}
+}
+
+// Figure4 — CNF instance size by mode and fault model (no solving).
+func Figure4(w io.Writer, faults int) {
+	fmt.Fprintf(w, "F4: CNF size with %d faulty observations\n", faults)
+	fmt.Fprintf(w, "%-10s | %-8s | %-10s | %-10s\n", "mode", "model", "vars", "clauses")
+	for _, mode := range keccak.FixedModes {
+		for _, m := range []fault.Model{fault.Byte, fault.Word16, fault.Word32} {
+			b := core.NewBuilder(core.DefaultConfig(mode, m))
+			digest := keccak.Sum(mode, []byte("size probe"))
+			b.AddCorrect(digest)
+			for k := 0; k < faults; k++ {
+				b.AddFaulty(digest, -1)
+			}
+			st := b.Formula().ComputeStats()
+			fmt.Fprintf(w, "%-10s | %-8s | %-10d | %-10d\n", mode, m, st.Vars, st.Clauses)
+		}
+	}
+}
+
+// AblationEncoding — what cone-of-influence pruning buys: the realized
+// CNF when only digest bits are constrained versus when the full
+// 1600-bit output cone must be encoded.
+func AblationEncoding(w io.Writer) {
+	fmt.Fprintf(w, "A1: cone-of-influence pruning (two-round instance, one fault)\n")
+	fmt.Fprintf(w, "%-10s | %-22s | %-22s\n", "mode", "pruned (digest cone)", "unpruned (full cone)")
+	for _, mode := range keccak.FixedModes {
+		pruned := encodingSize(mode, false)
+		full := encodingSize(mode, true)
+		fmt.Fprintf(w, "%-10s | %-22s | %-22s\n", mode, pruned, full)
+	}
+}
+
+func encodingSize(mode keccak.Mode, fullCone bool) string {
+	circ := symbolic.NewCircuit()
+	alpha := symbolic.NewSymInput(circ)
+	out := alpha.Clone()
+	out.Chi(circ)
+	out.Iota(22)
+	out.Round(circ, 23)
+	f := cnf.New()
+	enc := symbolic.NewEncoder(circ, f)
+	n := mode.DigestBits()
+	if fullCone {
+		n = keccak.StateBits
+	}
+	for _, r := range out.DigestRefs(n) {
+		enc.Lit(r)
+	}
+	st := f.ComputeStats()
+	return fmt.Sprintf("%d vars / %d cls", st.Vars, st.Clauses)
+}
+
+// AblationSolver — what each CDCL feature buys on a fixed attack
+// instance (SHA3-512, byte model, known positions for determinism).
+func AblationSolver(w io.Writer, faults int) {
+	fmt.Fprintf(w, "A2: solver feature ablation (SHA3-512, byte model, %d faults, single solve)\n", faults)
+	msg := []byte("solver ablation instance")
+	correct, injs := fault.Campaign(keccak.SHA3_512, msg, fault.Byte, 22, faults, 8000)
+	cfg := core.DefaultConfig(keccak.SHA3_512, fault.Byte)
+	b := core.NewBuilder(cfg)
+	b.AddCorrect(correct)
+	for _, inj := range injs {
+		b.AddFaulty(inj.FaultyDigest, -1)
+	}
+	form := b.Formula()
+
+	variants := []struct {
+		name string
+		opts sat.Options
+	}{
+		{"full", sat.Options{}},
+		{"no-VSIDS", sat.Options{NoVSIDS: true}},
+		{"no-restarts", sat.Options{NoRestarts: true}},
+		{"no-phase-saving", sat.Options{NoPhaseSaving: true}},
+		{"no-minimize", sat.Options{NoMinimize: true}},
+		{"no-reduce", sat.Options{NoReduce: true}},
+	}
+	fmt.Fprintf(w, "%-16s | %-12s | %-10s | %-10s | %s\n", "variant", "time", "conflicts", "decisions", "status")
+	for _, v := range variants {
+		v.opts.MaxConflicts = 2_000_000
+		s := sat.FromFormula(form, v.opts)
+		start := time.Now()
+		st := s.Solve()
+		el := time.Since(start)
+		stats := s.Stats()
+		fmt.Fprintf(w, "%-16s | %-12s | %-10d | %-10d | %s\n",
+			v.name, el.Round(time.Millisecond), stats.Conflicts, stats.Decisions, st)
+	}
+}

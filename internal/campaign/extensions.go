@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sha3afa/internal/countermeasure"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// Extension experiments beyond the DATE'17 tables: the journal
+// version's further relaxations (unaligned windows, XOF modes) and the
+// countermeasure evaluation the paper's conclusion calls for.
+
+// TableUnaligned — AFA under sliding-window (unaligned) fault models,
+// the journal extension's strongest relaxation that still recovers.
+func TableUnaligned(w io.Writer, seeds, maxFaults int) {
+	fmt.Fprintf(w, "E1: AFA under unaligned (sliding-window) fault models (seeds=%d)\n", seeds)
+	fmt.Fprintf(w, "%-10s | %-16s | %-34s\n", "mode", "model", "AFA")
+	for _, mode := range []keccak.Mode{keccak.SHA3_384, keccak.SHA3_512} {
+		for _, m := range fault.UnalignedModels {
+			var runs []AFARun
+			for s := 0; s < seeds; s++ {
+				runs = append(runs, RunAFA(mode, m, int64(9000+s), AFAOptions{MaxFaults: maxFaults}))
+			}
+			fmt.Fprintf(w, "%-10s | %-16s | %-34s\n", mode, m, SummarizeAFA(runs).Cell())
+		}
+	}
+}
+
+// TableSHAKE — AFA against the XOF modes (with their default output
+// lengths), extending "all four modes" to the full FIPS 202 family.
+func TableSHAKE(w io.Writer, seeds, maxFaults int) {
+	fmt.Fprintf(w, "E2: AFA on the SHAKE XOFs, byte fault model (seeds=%d)\n", seeds)
+	fmt.Fprintf(w, "%-10s | %-34s\n", "mode", "AFA")
+	for _, mode := range []keccak.Mode{keccak.SHAKE128, keccak.SHAKE256} {
+		var runs []AFARun
+		for s := 0; s < seeds; s++ {
+			runs = append(runs, RunAFA(mode, fault.Byte, int64(9500+s), AFAOptions{MaxFaults: maxFaults}))
+		}
+		fmt.Fprintf(w, "%-10s | %-34s\n", mode, SummarizeAFA(runs).Cell())
+	}
+}
+
+// TableCountermeasure — C1: detection rates of the protection schemes
+// against the injector used by the attack, per fault model.
+func TableCountermeasure(w io.Writer, trials int) {
+	fmt.Fprintf(w, "C1: countermeasure detection rates (%d injections each, fault at θ input of round 22)\n", trials)
+	fmt.Fprintf(w, "%-16s | %-20s | %-20s\n", "model", "temporal (2 rounds)", "parity guard")
+	mode := keccak.SHA3_256
+	msg := []byte("countermeasure evaluation")
+	models := append(append([]fault.Model{}, fault.Models...), fault.UnalignedModels...)
+	for _, m := range models {
+		inj := fault.NewInjector(m, 321)
+		temporal, parity := 0, 0
+		for i := 0; i < trials; i++ {
+			delta := inj.Sample().Delta()
+			if countermeasure.TemporalRedundancy(mode, msg, 2, 22, &delta).Detected {
+				temporal++
+			}
+			if countermeasure.ParityGuard(mode, msg, 22, &delta).Detected {
+				parity++
+			}
+		}
+		fmt.Fprintf(w, "%-16s | %18.1f%% | %18.1f%%\n", m,
+			100*float64(temporal)/float64(trials), 100*float64(parity)/float64(trials))
+	}
+}
+
+// TableStarvation — how the infective countermeasure starves the
+// attack: the fraction of injections that yield a usable faulty digest
+// with and without protection.
+func TableStarvation(w io.Writer, trials int) {
+	fmt.Fprintf(w, "C2: infective output — usable faulty digests per %d injections\n", trials)
+	mode := keccak.SHA3_256
+	msg := []byte("starvation target")
+	correct := keccak.Sum(mode, msg)
+	inj := fault.NewInjector(fault.Byte, 77)
+	usableRaw, usableProtected := 0, 0
+	start := time.Now()
+	for i := 0; i < trials; i++ {
+		delta := inj.Sample().Delta()
+		det := countermeasure.TemporalRedundancy(mode, msg, 2, 22, &delta)
+		// Unprotected device: the faulty digest leaves as-is.
+		if !bytesEqual(det.Digest, correct) {
+			usableRaw++
+		}
+		// Protected device: infective output replaces detected faults.
+		out := countermeasure.Infective(det, mode)
+		if !bytesEqual(out, correct) && !det.Detected {
+			usableProtected++
+		}
+	}
+	fmt.Fprintf(w, "  unprotected: %d usable faulty digests\n", usableRaw)
+	fmt.Fprintf(w, "  protected:   %d usable faulty digests (detection + infective masking)\n", usableProtected)
+	fmt.Fprintf(w, "  elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package campaign
+
+import (
+	"os"
+	"testing"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// Calibration probes: establish the fault budgets the experiment
+// emitters need per mode/model. They are calibration tools rather
+// than regression tests (several minutes each), so they only run when
+// AFA_PROBE=1 is set in the environment.
+
+func skipUnlessProbing(t *testing.T) {
+	t.Helper()
+	if testing.Short() || os.Getenv("AFA_PROBE") == "" {
+		t.Skip("calibration probe: set AFA_PROBE=1 to run")
+	}
+}
+
+func TestProbeAFA224Byte(t *testing.T) {
+	skipUnlessProbing(t)
+	run := RunAFA(keccak.SHA3_224, fault.Byte, 1, AFAOptions{MaxFaults: 120, SolveEvery: 4})
+	t.Logf("SHA3-224/byte: recovered=%v faults=%d total=%v solve=%v msgOK=%v ident=%d",
+		run.Recovered, run.FaultsUsed, run.TotalTime, run.SolveTime, run.MessageOK, run.FaultsIdent)
+}
+
+func TestProbeAFA256Byte(t *testing.T) {
+	skipUnlessProbing(t)
+	run := RunAFA(keccak.SHA3_256, fault.Byte, 1, AFAOptions{MaxFaults: 120, SolveEvery: 3})
+	t.Logf("SHA3-256/byte: recovered=%v faults=%d total=%v solve=%v",
+		run.Recovered, run.FaultsUsed, run.TotalTime, run.SolveTime)
+}
+
+func TestProbeAFA512Word32(t *testing.T) {
+	skipUnlessProbing(t)
+	run := RunAFA(keccak.SHA3_512, fault.Word32, 1, AFAOptions{MaxFaults: 60, SolveEvery: 5})
+	t.Logf("SHA3-512/32-bit: recovered=%v faults=%d total=%v solve=%v",
+		run.Recovered, run.FaultsUsed, run.TotalTime, run.SolveTime)
+}
+
+func TestProbeDFA512Byte(t *testing.T) {
+	skipUnlessProbing(t)
+	run := RunDFA(keccak.SHA3_512, fault.Byte, 1, 400)
+	t.Logf("DFA SHA3-512/byte: recovered=%v faults=%d forcedA=%d ident=%d skip=%d total=%v",
+		run.Recovered, run.FaultsUsed, run.ForcedA, run.Identified, run.Skipped, run.TotalTime)
+}
+
+func TestProbeDFAOracle512Byte(t *testing.T) {
+	skipUnlessProbing(t)
+	run := RunDFAOracle(keccak.SHA3_512, fault.Byte, 1, 600)
+	t.Logf("DFA-oracle SHA3-512/byte: recovered=%v faults=%d forcedA=%d total=%v",
+		run.Recovered, run.FaultsUsed, run.ForcedA, run.TotalTime)
+}

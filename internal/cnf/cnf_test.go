@@ -1,0 +1,318 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// satisfyingModels enumerates all satisfying assignments of f (over
+// all variables) — only usable for small formulas.
+func satisfyingModels(f *Formula) [][]bool {
+	n := f.NumVars()
+	var out [][]bool
+	for m := 0; m < 1<<n; m++ {
+		assign := make([]bool, n+1)
+		for v := 1; v <= n; v++ {
+			assign[v] = m>>(v-1)&1 == 1
+		}
+		if f.Eval(assign) {
+			out = append(out, assign)
+		}
+	}
+	return out
+}
+
+// checkGate verifies that a gadget's output variable is functionally
+// forced: for every assignment of the input variables there is exactly
+// one satisfying completion, and its output matches fn.
+func checkGate(t *testing.T, build func(f *Formula, in []int) int, arity int, fn func(in []bool) bool) {
+	t.Helper()
+	f := New()
+	in := f.NewVars(arity)
+	out := build(f, in)
+	models := satisfyingModels(f)
+	byInput := map[int][]bool{}
+	for _, m := range models {
+		key := 0
+		for i, v := range in {
+			if m[v] {
+				key |= 1 << i
+			}
+		}
+		if _, dup := byInput[key]; dup {
+			t.Fatalf("two satisfying completions for input %b", key)
+		}
+		byInput[key] = m
+	}
+	if len(byInput) != 1<<arity {
+		t.Fatalf("only %d of %d inputs satisfiable", len(byInput), 1<<arity)
+	}
+	for key, m := range byInput {
+		bitsIn := make([]bool, arity)
+		for i := range bitsIn {
+			bitsIn[i] = key>>i&1 == 1
+		}
+		want := fn(bitsIn)
+		got := m[abs(out)]
+		if out < 0 {
+			got = !got
+		}
+		if got != want {
+			t.Fatalf("input %b: gate output %v, want %v", key, got, want)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestGateAnd(t *testing.T) {
+	checkGate(t, func(f *Formula, in []int) int { return f.GateAnd(in[0], in[1]) }, 2,
+		func(in []bool) bool { return in[0] && in[1] })
+}
+
+func TestGateOr(t *testing.T) {
+	checkGate(t, func(f *Formula, in []int) int { return f.GateOr(in[0], in[1]) }, 2,
+		func(in []bool) bool { return in[0] || in[1] })
+}
+
+func TestGateAndNot(t *testing.T) {
+	checkGate(t, func(f *Formula, in []int) int { return f.GateAndNot(in[0], in[1]) }, 2,
+		func(in []bool) bool { return !in[0] && in[1] })
+}
+
+func TestGateXor2(t *testing.T) {
+	checkGate(t, func(f *Formula, in []int) int { return f.GateXor2(in[0], in[1]) }, 2,
+		func(in []bool) bool { return in[0] != in[1] })
+}
+
+func TestGateXorMany(t *testing.T) {
+	for arity := 1; arity <= 7; arity++ {
+		arity := arity
+		checkGate(t, func(f *Formula, in []int) int { return f.GateXorMany(in) }, arity,
+			func(in []bool) bool {
+				p := false
+				for _, b := range in {
+					p = p != b
+				}
+				return p
+			})
+	}
+}
+
+func TestAddXorClause(t *testing.T) {
+	for arity := 1; arity <= 5; arity++ {
+		for _, rhs := range []bool{false, true} {
+			f := New()
+			in := f.NewVars(arity)
+			f.AddXorClause(in, rhs)
+			for _, m := range satisfyingModels(f) {
+				p := false
+				for _, v := range in {
+					p = p != m[v]
+				}
+				if p != rhs {
+					t.Fatalf("arity %d rhs %v: model with parity %v", arity, rhs, p)
+				}
+			}
+			// Count: exactly half of assignments have each parity.
+			if got := len(satisfyingModels(f)); got != 1<<(arity-1) {
+				t.Fatalf("arity %d rhs %v: %d models, want %d", arity, rhs, got, 1<<(arity-1))
+			}
+		}
+	}
+}
+
+func TestAtMostOne(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} { // spans pairwise and sequential paths
+		f := New()
+		in := f.NewVars(n)
+		f.AtMostOne(in)
+		for _, m := range satisfyingModels(f) {
+			cnt := 0
+			for _, v := range in {
+				if m[v] {
+					cnt++
+				}
+			}
+			if cnt > 1 {
+				t.Fatalf("n=%d: model with %d true literals", n, cnt)
+			}
+		}
+		// Every ≤1 pattern must be achievable.
+		patterns := map[int]bool{}
+		for _, m := range satisfyingModels(f) {
+			key := 0
+			for i, v := range in {
+				if m[v] {
+					key |= 1 << i
+				}
+			}
+			patterns[key] = true
+		}
+		if len(patterns) != n+1 {
+			t.Fatalf("n=%d: %d reachable patterns, want %d", n, len(patterns), n+1)
+		}
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	f := New()
+	in := f.NewVars(6)
+	f.ExactlyOne(in)
+	patterns := map[int]bool{}
+	for _, m := range satisfyingModels(f) {
+		cnt, key := 0, 0
+		for i, v := range in {
+			if m[v] {
+				cnt++
+				key |= 1 << i
+			}
+		}
+		if cnt != 1 {
+			t.Fatalf("model with %d true literals", cnt)
+		}
+		patterns[key] = true
+	}
+	if len(patterns) != 6 {
+		t.Fatalf("%d singleton patterns, want 6", len(patterns))
+	}
+}
+
+func TestUnitPropagate(t *testing.T) {
+	f := New()
+	a, b, c := f.NewVar(), f.NewVar(), f.NewVar()
+	f.Unit(a)
+	f.Implies(a, b)
+	f.AddClause(-b, -a, c)
+	forced, ok := f.UnitPropagate()
+	if !ok {
+		t.Fatal("consistent formula reported conflict")
+	}
+	want := map[int]bool{a: true, b: true, c: true}
+	got := map[int]bool{}
+	for _, l := range forced {
+		got[abs(l)] = l > 0
+	}
+	for v, val := range want {
+		if got[v] != val {
+			t.Fatalf("var %d propagated to %v, want %v", v, got[v], val)
+		}
+	}
+	// Conflict case.
+	f.Unit(-c)
+	if _, ok := f.UnitPropagate(); ok {
+		t.Fatal("conflicting formula not detected")
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	f := New()
+	a, b := f.NewVar(), f.NewVar()
+	f.AddClause(a, -a, b) // tautology
+	f.AddClause(a, a, b)  // duplicate literal
+	removed := f.Simplify()
+	if removed != 1 {
+		t.Fatalf("removed %d clauses, want 1", removed)
+	}
+	if f.NumClauses() != 1 || len(f.Clauses()[0]) != 2 {
+		t.Fatalf("surviving clause wrong: %v", f.Clauses())
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := New()
+	vars := f.NewVars(5)
+	f.AddClause(vars[0], -vars[1])
+	f.AddClause(vars[2], vars[3], -vars[4])
+	f.Unit(-vars[0])
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf, "attack instance", "seed 42"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVars() != f.NumVars() || back.NumClauses() != f.NumClauses() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			back.NumVars(), back.NumClauses(), f.NumVars(), f.NumClauses())
+	}
+	for i, c := range f.Clauses() {
+		bc := back.Clauses()[i]
+		if len(bc) != len(c) {
+			t.Fatalf("clause %d length changed", i)
+		}
+		for j := range c {
+			if bc[j] != c[j] {
+				t.Fatalf("clause %d literal %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"1 2 0\n",          // clause before header
+		"p cnf x 1\n1 0\n", // bad var count
+		"p cnf 2 1\n3 0\n", // literal exceeds vars
+		"p cnf 2 2\n1 0\n", // clause count mismatch
+		"p cnf 2 1\n1 2\n", // missing terminator
+		"p dnf 2 1\n1 0\n", // wrong format tag
+	}
+	for _, s := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(s)); err == nil {
+			t.Errorf("ParseDIMACS accepted %q", s)
+		}
+	}
+}
+
+func TestParseDIMACSTolerance(t *testing.T) {
+	in := "c comment\np cnf 3 2\nc mid comment\n1 -2\n3 0\n-1 2 -3 0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumClauses() != 2 || f.NumVars() != 3 {
+		t.Fatalf("parsed shape %d/%d", f.NumVars(), f.NumClauses())
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := New()
+	v := f.NewVars(4)
+	f.AddClause(v[0], v[1])
+	f.AddClause(v[0], v[1], v[2])
+	f.AddClause(v[0], v[1], v[2], v[3])
+	st := f.ComputeStats()
+	if st.Vars != 4 || st.Clauses != 3 || st.Literals != 9 || st.Binary != 1 || st.Ternary != 1 || st.LongestCl != 4 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if !strings.Contains(st.String(), "vars=4") {
+		t.Fatal("Stats.String missing fields")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	f := New()
+	a := f.NewVar()
+	f.Unit(a)
+	c := f.Clone()
+	c.AddClause(-a)
+	if f.NumClauses() != 1 {
+		t.Fatal("Clone shares clause storage")
+	}
+}
+
+func TestAddClauseGrowsVars(t *testing.T) {
+	f := New()
+	f.AddClause(-7)
+	if f.NumVars() != 7 {
+		t.Fatalf("NumVars = %d, want 7", f.NumVars())
+	}
+}

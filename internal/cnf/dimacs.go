@@ -1,0 +1,104 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS serializes the formula in the standard DIMACS CNF format
+// understood by every off-the-shelf SAT solver. Comment lines may be
+// provided and are emitted first.
+func (f *Formula) WriteDIMACS(w io.Writer, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.numVars, len(f.clauses)); err != nil {
+		return err
+	}
+	for _, cl := range f.clauses {
+		for _, l := range cl {
+			if _, err := bw.WriteString(strconv.Itoa(l)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseDIMACS reads a DIMACS CNF file. It tolerates comments anywhere,
+// multi-line clauses, and validates the header counts (clause count
+// must match; variable indexes must not exceed the declared count).
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	f := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	declaredVars, declaredClauses := -1, -1
+	var cur []int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: malformed problem line %q", line)
+			}
+			var err error
+			if declaredVars, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("cnf: bad var count: %v", err)
+			}
+			if declaredClauses, err = strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("cnf: bad clause count: %v", err)
+			}
+			continue
+		}
+		if declaredVars < 0 {
+			return nil, fmt.Errorf("cnf: clause before problem line")
+		}
+		for _, tok := range strings.Fields(line) {
+			l, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad literal %q: %v", tok, err)
+			}
+			if l == 0 {
+				f.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if v > declaredVars {
+				return nil, fmt.Errorf("cnf: literal %d exceeds declared %d vars", l, declaredVars)
+			}
+			cur = append(cur, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("cnf: trailing clause without terminating 0")
+	}
+	if declaredClauses >= 0 && len(f.clauses) != declaredClauses {
+		return nil, fmt.Errorf("cnf: header declares %d clauses, found %d", declaredClauses, len(f.clauses))
+	}
+	if declaredVars > f.numVars {
+		f.numVars = declaredVars
+	}
+	return f, nil
+}

@@ -1,0 +1,222 @@
+// Package cnf represents propositional formulas in conjunctive normal
+// form, provides the Tseitin-style gate gadgets the symbolic Keccak
+// encoder emits, and reads/writes the DIMACS exchange format — the
+// escape hatch for handing attack instances to an external SAT solver.
+//
+// Literal convention (DIMACS): variables are 1..NumVars; literal +v is
+// the variable, -v its negation. Literal 0 is invalid.
+package cnf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Formula is a CNF formula: a conjunction of clauses over NumVars
+// variables.
+type Formula struct {
+	numVars int
+	clauses [][]int
+}
+
+// New returns an empty formula with no variables.
+func New() *Formula { return &Formula{} }
+
+// NumVars returns the highest variable index in use.
+func (f *Formula) NumVars() int { return f.numVars }
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.clauses) }
+
+// Clauses exposes the clause list (callers must not mutate).
+func (f *Formula) Clauses() [][]int { return f.clauses }
+
+// NewVar allocates a fresh variable and returns its index.
+func (f *Formula) NewVar() int {
+	f.numVars++
+	return f.numVars
+}
+
+// NewVars allocates n fresh variables, returned in order.
+func (f *Formula) NewVars(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = f.NewVar()
+	}
+	return out
+}
+
+// AddClause appends a clause (copied). It panics on literal 0 and
+// grows NumVars to cover any referenced variable.
+func (f *Formula) AddClause(lits ...int) {
+	c := make([]int, len(lits))
+	for i, l := range lits {
+		if l == 0 {
+			panic("cnf: literal 0 in clause")
+		}
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		if v > f.numVars {
+			f.numVars = v
+		}
+		c[i] = l
+	}
+	f.clauses = append(f.clauses, c)
+}
+
+// Eval checks an assignment (assign[v] is the value of variable v;
+// index 0 unused) against every clause.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.clauses {
+		ok := false
+		for _, l := range c {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if v >= len(assign) {
+				return false
+			}
+			if assign[v] == (l > 0) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Simplify removes tautological clauses and duplicate literals within
+// clauses, returning the number of clauses removed.
+func (f *Formula) Simplify() int {
+	kept := f.clauses[:0]
+	removed := 0
+	for _, c := range f.clauses {
+		sort.Ints(c)
+		out := c[:0]
+		taut := false
+		for i, l := range c {
+			if i > 0 && l == c[i-1] {
+				continue // duplicate
+			}
+			if -l == l {
+				panic("cnf: zero literal")
+			}
+			out = append(out, l)
+		}
+		// Tautology: both polarities present (sorted: -v before +v but
+		// not adjacent necessarily; scan).
+		seen := make(map[int]bool, len(out))
+		for _, l := range out {
+			if seen[-l] {
+				taut = true
+				break
+			}
+			seen[l] = true
+		}
+		if taut {
+			removed++
+			continue
+		}
+		kept = append(kept, out)
+	}
+	f.clauses = kept
+	return removed
+}
+
+// UnitPropagate runs unit propagation to fixpoint over the clause
+// list. It returns the forced literals (in propagation order) and
+// false if a conflict (empty clause) was derived. The formula is not
+// modified.
+func (f *Formula) UnitPropagate() (forced []int, ok bool) {
+	val := make(map[int]bool) // literal -> assigned true
+	assignedVar := make(map[int]bool)
+	assign := func(l int) {
+		val[l] = true
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		assignedVar[v] = true
+		forced = append(forced, l)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range f.clauses {
+			var unassigned []int
+			sat := false
+			for _, l := range c {
+				if val[l] {
+					sat = true
+					break
+				}
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				if !assignedVar[v] {
+					unassigned = append(unassigned, l)
+				}
+			}
+			if sat {
+				continue
+			}
+			switch len(unassigned) {
+			case 0:
+				return forced, false
+			case 1:
+				assign(unassigned[0])
+				changed = true
+			}
+		}
+	}
+	return forced, true
+}
+
+// Stats summarizes the formula shape; useful for the CNF-size figure.
+type Stats struct {
+	Vars      int
+	Clauses   int
+	Literals  int
+	Binary    int
+	Ternary   int
+	LongestCl int
+}
+
+// ComputeStats returns size statistics.
+func (f *Formula) ComputeStats() Stats {
+	st := Stats{Vars: f.numVars, Clauses: len(f.clauses)}
+	for _, c := range f.clauses {
+		st.Literals += len(c)
+		switch len(c) {
+		case 2:
+			st.Binary++
+		case 3:
+			st.Ternary++
+		}
+		if len(c) > st.LongestCl {
+			st.LongestCl = len(c)
+		}
+	}
+	return st
+}
+
+// String formats stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("vars=%d clauses=%d lits=%d (bin=%d tern=%d max=%d)",
+		s.Vars, s.Clauses, s.Literals, s.Binary, s.Ternary, s.LongestCl)
+}
+
+// Clone returns a deep copy.
+func (f *Formula) Clone() *Formula {
+	c := &Formula{numVars: f.numVars, clauses: make([][]int, len(f.clauses))}
+	for i, cl := range f.clauses {
+		c.clauses[i] = append([]int(nil), cl...)
+	}
+	return c
+}

@@ -1,0 +1,164 @@
+package cnf
+
+// Gate gadgets: Tseitin encodings of the boolean structure the
+// symbolic Keccak encoder produces. Each gadget allocates its output
+// variable (unless noted) and adds the defining clauses.
+
+// Unit forces literal l true.
+func (f *Formula) Unit(l int) { f.AddClause(l) }
+
+// EquivLit adds clauses forcing a == b (as literals).
+func (f *Formula) EquivLit(a, b int) {
+	f.AddClause(-a, b)
+	f.AddClause(a, -b)
+}
+
+// GateAnd returns out with out <-> (a AND b).
+func (f *Formula) GateAnd(a, b int) int {
+	out := f.NewVar()
+	f.AddClause(-out, a)
+	f.AddClause(-out, b)
+	f.AddClause(out, -a, -b)
+	return out
+}
+
+// GateOr returns out with out <-> (a OR b).
+func (f *Formula) GateOr(a, b int) int {
+	out := f.NewVar()
+	f.AddClause(out, -a)
+	f.AddClause(out, -b)
+	f.AddClause(-out, a, b)
+	return out
+}
+
+// GateAndNot returns out with out <-> ((NOT a) AND b) — the χ product
+// term.
+func (f *Formula) GateAndNot(a, b int) int {
+	out := f.NewVar()
+	f.AddClause(-out, -a)
+	f.AddClause(-out, b)
+	f.AddClause(out, a, -b)
+	return out
+}
+
+// GateXor2 returns out with out <-> (a XOR b).
+func (f *Formula) GateXor2(a, b int) int {
+	out := f.NewVar()
+	f.AddXorClause([]int{a, b, out}, false)
+	return out
+}
+
+// AddXorClause constrains XOR(lits) = rhs (rhs=true means odd parity),
+// expanding into the 2^(n-1) CNF clauses. Callers should keep n ≤ 5;
+// the symbolic layer cuts longer chains first.
+func (f *Formula) AddXorClause(lits []int, rhs bool) {
+	n := len(lits)
+	if n == 0 {
+		if rhs {
+			// 0 = 1: unsatisfiable; encode with an empty-equivalent pair.
+			v := f.NewVar()
+			f.AddClause(v)
+			f.AddClause(-v)
+		}
+		return
+	}
+	if n > 16 {
+		panic("cnf: XOR clause too wide; cut it first")
+	}
+	// Emit every sign pattern with an even (for rhs=true) number of
+	// positive literals negated... Standard construction: clause
+	// (l1^s1 ∨ ... ∨ ln^sn) for every sign vector s with parity(s) !=
+	// rhs, where flipping a literal's sign means negating it.
+	for mask := 0; mask < 1<<n; mask++ {
+		if parity(mask) == rhs {
+			continue
+		}
+		clause := make([]int, n)
+		for i := 0; i < n; i++ {
+			l := lits[i]
+			if mask>>i&1 == 1 {
+				l = -l
+			}
+			clause[i] = l
+		}
+		f.AddClause(clause...)
+	}
+}
+
+func parity(m int) bool {
+	p := false
+	for m != 0 {
+		p = !p
+		m &= m - 1
+	}
+	return p
+}
+
+// GateXorMany XORs any number of literals by chaining balanced 3-ary
+// XOR gates, returning the output literal. Length 0 is invalid.
+func (f *Formula) GateXorMany(lits []int) int {
+	switch len(lits) {
+	case 0:
+		panic("cnf: empty XOR")
+	case 1:
+		return lits[0]
+	case 2:
+		return f.GateXor2(lits[0], lits[1])
+	}
+	// Fold three inputs at a time: out <-> a^b^c costs 8 clauses but
+	// halves the chain depth versus pairwise folding.
+	acc := lits
+	for len(acc) > 1 {
+		var next []int
+		i := 0
+		for ; i+3 <= len(acc); i += 3 {
+			out := f.NewVar()
+			f.AddXorClause([]int{acc[i], acc[i+1], acc[i+2], out}, false)
+			next = append(next, out)
+		}
+		switch len(acc) - i {
+		case 2:
+			next = append(next, f.GateXor2(acc[i], acc[i+1]))
+		case 1:
+			next = append(next, acc[i])
+		}
+		acc = next
+	}
+	return acc[0]
+}
+
+// AtMostOne adds the sequential (Sinz) at-most-one encoding over the
+// literals: linear clauses and auxiliary variables instead of the
+// quadratic pairwise encoding.
+func (f *Formula) AtMostOne(lits []int) {
+	n := len(lits)
+	if n <= 1 {
+		return
+	}
+	if n <= 4 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				f.AddClause(-lits[i], -lits[j])
+			}
+		}
+		return
+	}
+	// s[i] = "some literal among lits[0..i] is true".
+	s := f.NewVars(n - 1)
+	f.AddClause(-lits[0], s[0])
+	for i := 1; i < n-1; i++ {
+		f.AddClause(-lits[i], s[i])
+		f.AddClause(-s[i-1], s[i])
+		f.AddClause(-lits[i], -s[i-1])
+	}
+	f.AddClause(-lits[n-1], -s[n-2])
+}
+
+// ExactlyOne adds at-least-one plus at-most-one.
+func (f *Formula) ExactlyOne(lits []int) {
+	f.AddClause(lits...)
+	f.AtMostOne(lits)
+}
+
+// Implies adds (a -> b).
+func (f *Formula) Implies(a, b int) { f.AddClause(-a, b) }

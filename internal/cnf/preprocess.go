@@ -1,0 +1,204 @@
+package cnf
+
+import "sort"
+
+// Preprocessing: satisfiability-preserving formula reductions applied
+// before handing an instance to the solver (or exporting it). These
+// are the classic SatELite-style rules restricted to the safe subset:
+// unit-propagation rewriting, subsumption, and self-subsuming
+// resolution (clause strengthening).
+
+// PreprocessStats reports what a Preprocess call removed.
+type PreprocessStats struct {
+	UnitsPropagated   int
+	ClausesRemoved    int
+	LiteralsRemoved   int
+	SubsumedClauses   int
+	StrengthenedLits  int
+	IterationsReached int
+}
+
+// Preprocess simplifies the formula in place. The transformation is
+// equisatisfiable and model-preserving over the remaining variables:
+// unit clauses are kept (so models can be read off), satisfied clauses
+// are dropped, falsified literals are deleted, subsumed clauses are
+// removed and self-subsuming resolution strengthens clauses. Returns
+// statistics.
+func (f *Formula) Preprocess() PreprocessStats {
+	var st PreprocessStats
+	for iter := 0; iter < 10; iter++ {
+		st.IterationsReached = iter + 1
+		changed := false
+
+		// --- Unit propagation rewriting ---
+		val := map[int]bool{} // literal -> true
+		for _, c := range f.clauses {
+			if len(c) == 1 {
+				val[c[0]] = true
+			}
+		}
+		if len(val) > 0 {
+			kept := f.clauses[:0]
+			for _, c := range f.clauses {
+				sat := false
+				out := c[:0]
+				for _, l := range c {
+					switch {
+					case val[l]:
+						sat = true
+					case val[-l]:
+						st.LiteralsRemoved++
+						changed = true
+						continue
+					}
+					if sat {
+						break
+					}
+					out = append(out, l)
+				}
+				if sat && len(c) > 1 {
+					st.ClausesRemoved++
+					changed = true
+					continue
+				}
+				if sat { // the unit clause itself
+					kept = append(kept, c)
+					continue
+				}
+				kept = append(kept, out)
+				if len(out) == 1 && !val[out[0]] {
+					val[out[0]] = true
+					st.UnitsPropagated++
+					changed = true
+				}
+			}
+			f.clauses = kept
+		}
+
+		// --- Subsumption and self-subsuming resolution ---
+		// Sort literals and index clauses by their shortest literal's
+		// occurrence list to keep the pairwise check near-linear.
+		for _, c := range f.clauses {
+			sort.Ints(c)
+		}
+		occ := map[int][]int{} // literal -> clause indices
+		for i, c := range f.clauses {
+			for _, l := range c {
+				occ[l] = append(occ[l], i)
+			}
+		}
+		removed := make([]bool, len(f.clauses))
+		for i, c := range f.clauses {
+			if removed[i] || len(c) == 0 {
+				continue
+			}
+			// Candidate superset clauses share c's first literal (for
+			// subsumption) or its negation (for strengthening).
+			for _, l := range c {
+				for _, j := range occ[l] {
+					if j == i || removed[j] {
+						continue
+					}
+					d := f.clauses[j]
+					if len(d) < len(c) {
+						continue
+					}
+					if subset(c, d) {
+						removed[j] = true
+						st.SubsumedClauses++
+						changed = true
+					}
+				}
+				// Self-subsuming resolution: if c \ {l} ∪ {-l} ⊆ d,
+				// then l... — resolve c with d on l, strengthening d
+				// by removing -l.
+				for _, j := range occ[-l] {
+					if j == i || removed[j] {
+						continue
+					}
+					d := f.clauses[j]
+					if len(d) < len(c) {
+						continue
+					}
+					if subsetExcept(c, d, l) {
+						f.clauses[j] = deleteLit(d, -l)
+						st.StrengthenedLits++
+						changed = true
+					}
+				}
+			}
+		}
+		if anyTrue(removed) {
+			kept := f.clauses[:0]
+			for i, c := range f.clauses {
+				if !removed[i] {
+					kept = append(kept, c)
+				}
+			}
+			f.clauses = kept
+		}
+
+		if !changed {
+			break
+		}
+	}
+	return st
+}
+
+// subset reports whether every literal of c occurs in d (both sorted).
+func subset(c, d []int) bool {
+	i := 0
+	for _, l := range d {
+		if i < len(c) && c[i] == l {
+			i++
+		}
+	}
+	return i == len(c)
+}
+
+// subsetExcept reports whether every literal of c except l occurs in
+// d, and -l occurs in d — the self-subsuming-resolution premise.
+func subsetExcept(c, d []int, l int) bool {
+	hasNeg := false
+	for _, dl := range d {
+		if dl == -l {
+			hasNeg = true
+			break
+		}
+	}
+	if !hasNeg {
+		return false
+	}
+	i := 0
+	for _, dl := range d {
+		for i < len(c) && c[i] == l {
+			i++
+		}
+		if i < len(c) && c[i] == dl {
+			i++
+		}
+	}
+	for i < len(c) && c[i] == l {
+		i++
+	}
+	return i == len(c)
+}
+
+func deleteLit(c []int, l int) []int {
+	out := make([]int, 0, len(c)-1)
+	for _, x := range c {
+		if x != l {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}

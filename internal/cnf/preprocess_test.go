@@ -1,0 +1,107 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// equivalentOnOriginalVars checks that two formulas have identical
+// satisfying assignments over variables 1..n (by brute force).
+func equivalentOnOriginalVars(t *testing.T, a, b *Formula, n int) {
+	t.Helper()
+	for m := 0; m < 1<<n; m++ {
+		assign := make([]bool, n+1)
+		for v := 1; v <= n; v++ {
+			assign[v] = m>>(v-1)&1 == 1
+		}
+		if a.Eval(assign) != b.Eval(assign) {
+			t.Fatalf("preprocessing changed semantics at assignment %b", m)
+		}
+	}
+}
+
+func TestPreprocessPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(8)
+		f := New()
+		f.NewVars(n)
+		nCl := 1 + rng.Intn(4*n)
+		for i := 0; i < nCl; i++ {
+			w := 1 + rng.Intn(4)
+			c := make([]int, w)
+			for j := range c {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c[j] = v
+			}
+			f.AddClause(c...)
+		}
+		f.Simplify() // remove tautologies first (Preprocess assumes none matter)
+		orig := f.Clone()
+		f.Preprocess()
+		equivalentOnOriginalVars(t, orig, f, n)
+	}
+}
+
+func TestPreprocessSubsumption(t *testing.T) {
+	f := New()
+	a, b, c := f.NewVar(), f.NewVar(), f.NewVar()
+	f.AddClause(a, b)
+	f.AddClause(a, b, c) // subsumed
+	st := f.Preprocess()
+	if st.SubsumedClauses != 1 || f.NumClauses() != 1 {
+		t.Fatalf("subsumption failed: %+v, %d clauses", st, f.NumClauses())
+	}
+}
+
+func TestPreprocessSelfSubsumingResolution(t *testing.T) {
+	f := New()
+	a, b, c := f.NewVar(), f.NewVar(), f.NewVar()
+	f.AddClause(a, b)     // C
+	f.AddClause(-a, b, c) // D: resolving on a strengthens D to (b, c)
+	st := f.Preprocess()
+	if st.StrengthenedLits == 0 {
+		t.Fatalf("no strengthening happened: %+v", st)
+	}
+	// D must have lost -a.
+	for _, cl := range f.Clauses() {
+		for _, l := range cl {
+			if l == -a {
+				t.Fatal("strengthened literal still present")
+			}
+		}
+	}
+}
+
+func TestPreprocessUnits(t *testing.T) {
+	f := New()
+	a, b, c := f.NewVar(), f.NewVar(), f.NewVar()
+	f.Unit(a)
+	f.AddClause(-a, b) // rewrites to unit b
+	f.AddClause(a, c)  // satisfied, dropped
+	st := f.Preprocess()
+	if st.UnitsPropagated == 0 || st.ClausesRemoved == 0 {
+		t.Fatalf("unit rewriting did not fire: %+v", st)
+	}
+	orig := New()
+	orig.NewVars(3)
+	orig.Unit(a)
+	orig.AddClause(-a, b)
+	orig.AddClause(a, c)
+	equivalentOnOriginalVars(t, orig, f, 3)
+}
+
+func TestPreprocessIdempotentOnClean(t *testing.T) {
+	f := New()
+	a, b := f.NewVar(), f.NewVar()
+	f.AddClause(a, b)
+	f.AddClause(-a, -b)
+	before := f.NumClauses()
+	st := f.Preprocess()
+	if f.NumClauses() != before || st.SubsumedClauses != 0 {
+		t.Fatalf("preprocess modified an irreducible formula: %+v", st)
+	}
+}

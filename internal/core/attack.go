@@ -1,0 +1,317 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/sat"
+)
+
+// Attack drives an incremental AFA session: observations stream in via
+// AddCorrect/AddFaulty, Solve asks the SAT solver whether the
+// accumulated algebra pins the state down, and the recovered state can
+// be walked back to the message block.
+type Attack struct {
+	cfg     Config
+	builder *Builder
+	solver  *sat.Solver
+	pushed  int // clauses already handed to the solver
+
+	correctDigest []byte
+	guards        []int // satisfied guard literals of retired blocking clauses
+	lastModel     []bool
+}
+
+// NewAttack returns an empty attack session.
+func NewAttack(cfg Config) *Attack {
+	return &Attack{
+		cfg:     cfg,
+		builder: NewBuilder(cfg),
+		solver:  sat.NewWithOptions(cfg.SolverOptions),
+	}
+}
+
+// Builder exposes the underlying instance builder (e.g. for DIMACS
+// export of the exact CNF the solver sees).
+func (a *Attack) Builder() *Builder { return a.builder }
+
+// Solver exposes the CDCL solver for statistics.
+func (a *Attack) Solver() *sat.Solver { return a.solver }
+
+// AddCorrect records the fault-free digest.
+func (a *Attack) AddCorrect(digest []byte) error {
+	if err := a.builder.AddCorrect(digest); err != nil {
+		return err
+	}
+	a.correctDigest = append([]byte(nil), digest...)
+	return nil
+}
+
+// AddFaulty records one faulty digest observed under the configured
+// relaxed fault model. knownWindow is used only when cfg.KnownPosition
+// is set; pass -1 in the relaxed setting.
+func (a *Attack) AddFaulty(faultyDigest []byte, knownWindow int) error {
+	return a.builder.AddFaulty(faultyDigest, knownWindow)
+}
+
+// AddInjection is a convenience for experiment harnesses: it feeds a
+// fault.Injection, passing the ground-truth window through only when
+// the precise-position ablation is enabled.
+func (a *Attack) AddInjection(inj fault.Injection) error {
+	w := -1
+	if a.cfg.KnownPosition {
+		w = inj.Fault.Window
+	}
+	return a.AddFaulty(inj.FaultyDigest, w)
+}
+
+// sync pushes clauses added to the formula since the last call into
+// the incremental solver.
+func (a *Attack) sync() error {
+	cls := a.builder.Formula().Clauses()
+	for ; a.pushed < len(cls); a.pushed++ {
+		if err := a.solver.AddClause(cls[a.pushed]...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Solve asks whether the current observations determine the state. It
+// returns Recovered with the unique χ input of round 22 when they do,
+// Ambiguous when several states remain, and BudgetExceeded if the
+// solver budget ran out.
+func (a *Attack) Solve() (res Result, err error) {
+	if !a.builder.correctAdded {
+		return res, fmt.Errorf("core: Solve before AddCorrect")
+	}
+	start := time.Now()
+	defer func() { res.SolveTime = time.Since(start) }()
+
+	if err := a.sync(); err != nil {
+		// Level-0 UNSAT while loading clauses.
+		res.Status = Inconsistent
+		return res, nil
+	}
+	stats := a.builder.Formula().ComputeStats()
+	res.Vars, res.Clauses = stats.Vars, stats.Clauses
+
+	if a.cfg.UniquenessCheck {
+		return a.solveUnique(res)
+	}
+	return a.solvePractical(res)
+}
+
+// solvePractical enumerates SAT models and validates each candidate by
+// inverting the permutation: a candidate that fails the capacity /
+// padding / digest re-check is proven wrong and blocked permanently.
+func (a *Attack) solvePractical(res Result) (Result, error) {
+	maxCand := a.cfg.MaxCandidates
+	if maxCand <= 0 {
+		maxCand = 16
+	}
+	for res.Candidates < maxCand {
+		switch a.solver.Solve(a.guards...) {
+		case sat.Unsat:
+			// Either the observations contradict the fault model, or
+			// every remaining model was enumerated and proven wrong —
+			// both impossible for genuine observations.
+			res.Status = Inconsistent
+			return res, nil
+		case sat.Unknown:
+			res.Status = BudgetExceeded
+			return res, nil
+		}
+		model := append([]bool(nil), a.solver.Model()...)
+		a.lastModel = model
+		res.Candidates++
+		res.ChiInput = a.builder.DecodeAlpha(model)
+		if a.ValidateCandidate(res.ChiInput) {
+			res.Status = Recovered
+			return res, nil
+		}
+		// Candidate disproven: exclude it forever.
+		if err := a.solver.AddClause(a.blockingClause(model, 0)...); err != nil {
+			res.Status = Inconsistent
+			return res, nil
+		}
+	}
+	res.Status = Ambiguous
+	return res, nil
+}
+
+// solveUnique implements the pure information-theoretic criterion:
+// recovered only if the model is unique over α.
+func (a *Attack) solveUnique(res Result) (Result, error) {
+	st := a.solver.Solve(a.guards...)
+	switch st {
+	case sat.Unsat:
+		res.Status = Inconsistent
+		return res, nil
+	case sat.Unknown:
+		res.Status = BudgetExceeded
+		return res, nil
+	}
+	model := append([]bool(nil), a.solver.Model()...)
+	a.lastModel = model
+	res.Candidates = 1
+	res.ChiInput = a.builder.DecodeAlpha(model)
+
+	// Block this α assignment behind a guard and re-solve. The guard
+	// variable is allocated from the formula's variable space (not the
+	// solver's) so that variables created by later AddFaulty calls
+	// cannot collide with it; the blocking clause itself stays
+	// solver-only and never appears in the exportable formula.
+	guard := a.builder.Formula().NewVar()
+	if err := a.solver.AddClause(a.blockingClause(model, guard)...); err != nil {
+		res.Status = Inconsistent
+		return res, nil
+	}
+	assume := append(append([]int(nil), a.guards...), -guard)
+	second := a.solver.Solve(assume...)
+	// Retire the blocking clause for all future solves.
+	a.guards = append(a.guards, guard)
+	switch second {
+	case sat.Unsat:
+		res.Status = Recovered
+	case sat.Sat:
+		res.Status = Ambiguous
+	default:
+		res.Status = BudgetExceeded
+	}
+	return res, nil
+}
+
+// blockingClause builds a clause excluding the model's α assignment,
+// optionally guarded (guard = 0 means unguarded/permanent).
+func (a *Attack) blockingClause(model []bool, guard int) []int {
+	block := make([]int, 0, keccak.StateBits+1)
+	if guard != 0 {
+		block = append(block, guard)
+	}
+	for _, l := range a.builder.AlphaLits() {
+		v := model[abs(l)]
+		if l < 0 {
+			v = !v
+		}
+		if v {
+			block = append(block, -abs(l))
+		} else {
+			block = append(block, abs(l))
+		}
+	}
+	return block
+}
+
+// LastModel returns the most recent satisfying model (nil before the
+// first Sat outcome).
+func (a *Attack) LastModel() []bool { return a.lastModel }
+
+// RecoveredFaults decodes every injected fault from the last model —
+// the paper's fault-identification capability.
+func (a *Attack) RecoveredFaults() ([]RecoveredFault, error) {
+	if a.lastModel == nil {
+		return nil, fmt.Errorf("core: no model available")
+	}
+	out := make([]RecoveredFault, a.builder.NumInstances())
+	for k := range out {
+		rf, err := a.builder.DecodeFault(a.lastModel, k)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = rf
+	}
+	return out, nil
+}
+
+// ValidateCandidate checks a candidate χ input of round 22 the way a
+// real attacker can: invert the permutation, check the sponge capacity
+// bits are zero and the padding is well-formed, then recompute the
+// digest from the extracted message and compare.
+func (a *Attack) ValidateCandidate(chi keccak.State) bool {
+	msg, ok := a.ExtractMessage(chi)
+	if !ok {
+		return false
+	}
+	return bytes.Equal(keccak.Sum(a.cfg.Mode, msg)[:len(a.correctDigest)], a.correctDigest)
+}
+
+// ExtractMessage inverts the permutation from the candidate state and
+// unpads the rate portion, returning the recovered message block. It
+// assumes a single-block message (the experiment setting); ok is false
+// if capacity bits are non-zero or the padding is malformed.
+func (a *Attack) ExtractMessage(chi keccak.State) (msg []byte, ok bool) {
+	perm := keccak.RecoverPermInput(chi, a.cfg.Round)
+	rateBytes := a.cfg.Mode.RateBytes()
+	// Capacity must be all-zero for a one-block message.
+	for i := a.cfg.Mode.RateBits(); i < keccak.StateBits; i++ {
+		if perm.Bit(i) {
+			return nil, false
+		}
+	}
+	block := perm.Bytes()[:rateBytes]
+	return unpad(block, a.cfg.Mode.DomainByte())
+}
+
+// unpad strips multi-rate padding with the given domain byte.
+func unpad(block []byte, ds byte) ([]byte, bool) {
+	n := len(block)
+	last := block[n-1]
+	if last&0x80 == 0 {
+		return nil, false
+	}
+	if n >= 1 && last == ds^0x80 {
+		// Domain byte and final bit merged: message fills n-1 bytes.
+		return append([]byte(nil), block[:n-1]...), true
+	}
+	if last != 0x80 {
+		return nil, false
+	}
+	// Scan backwards for the domain byte; interior padding must be 0.
+	for i := n - 2; i >= 0; i-- {
+		switch block[i] {
+		case 0:
+			continue
+		case ds:
+			return append([]byte(nil), block[:i]...), true
+		default:
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// ProbeDetermined tests, for each given α bit index, whether its value
+// is already forced by the constraints (an UNSAT check against the
+// flipped value). It returns the number of determined bits among the
+// probes. Used by the information-accumulation figure.
+func (a *Attack) ProbeDetermined(indices []int) (int, error) {
+	if a.lastModel == nil {
+		return 0, fmt.Errorf("core: no model to probe against")
+	}
+	if err := a.sync(); err != nil {
+		return 0, nil
+	}
+	alits := a.builder.AlphaLits()
+	determined := 0
+	for _, i := range indices {
+		l := alits[i]
+		v := a.lastModel[abs(l)]
+		if l < 0 {
+			v = !v
+		}
+		// Assume the opposite value.
+		flip := abs(l)
+		if v {
+			flip = -flip
+		}
+		assume := append(append([]int(nil), a.guards...), flip)
+		if a.solver.Solve(assume...) == sat.Unsat {
+			determined++
+		}
+	}
+	return determined, nil
+}

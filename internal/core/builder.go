@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"sha3afa/internal/cnf"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/symbolic"
+)
+
+// instance is the bookkeeping for one faulty observation: the CNF
+// literals of its 1600 difference bits and of its window selectors, so
+// the recovered model can be decoded back into a concrete fault.
+type instance struct {
+	deltaLits []int
+	selLits   []int
+}
+
+// Builder accumulates the algebraic system: a shared symbolic unknown
+// α (the χ input of round 22), one constraint block for the correct
+// digest, and one block per faulty digest. Everything is emitted into
+// a single cnf.Formula through one hash-consed circuit, so shared
+// structure (α itself, constant folding across ι) is encoded once.
+type Builder struct {
+	cfg  Config
+	circ *symbolic.Circuit
+	form *cnf.Formula
+	enc  *symbolic.Encoder
+
+	alpha     *symbolic.SymState
+	alphaLits [keccak.StateBits]int
+
+	correctAdded bool
+	instances    []instance
+}
+
+// NewBuilder prepares an empty attack instance for the configuration.
+func NewBuilder(cfg Config) *Builder {
+	if cfg.Round != 22 {
+		panic("core: only Round 22 (penultimate) is modeled")
+	}
+	b := &Builder{cfg: cfg}
+	b.circ = symbolic.NewCircuit()
+	b.form = cnf.New()
+	b.enc = symbolic.NewEncoder(b.circ, b.form)
+	b.alpha = symbolic.NewSymInput(b.circ)
+	for i := range b.alphaLits {
+		b.alphaLits[i] = b.enc.Lit(b.alpha.Bits[i])
+	}
+	return b
+}
+
+// Formula returns the CNF built so far (the exportable instance).
+func (b *Builder) Formula() *cnf.Formula { return b.form }
+
+// AlphaLits returns the CNF literals of the 1600 unknown state bits.
+func (b *Builder) AlphaLits() []int { return b.alphaLits[:] }
+
+// NumInstances returns how many faulty observations were encoded.
+func (b *Builder) NumInstances() int { return len(b.instances) }
+
+// digestBitsOf converts a digest to bools (state bit order).
+func digestBits(digest []byte, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = keccak.DigestBitsOf(digest, i)
+	}
+	return out
+}
+
+// AddCorrect encodes the fault-free computation: digest =
+// Trunc(R23(ι22(χ(α)))). Must be called exactly once.
+func (b *Builder) AddCorrect(digest []byte) error {
+	if b.correctAdded {
+		return fmt.Errorf("core: correct digest already added")
+	}
+	d := b.cfg.Mode.DigestBits()
+	if len(digest)*8 < d {
+		return fmt.Errorf("core: digest too short: %d bytes for %s", len(digest), b.cfg.Mode)
+	}
+	out := b.alpha.Clone()
+	out.Chi(b.circ)
+	out.Iota(22)
+	out.Round(b.circ, 23)
+	b.enc.FixAll(out.DigestRefs(d), digestBits(digest, d))
+	b.correctAdded = true
+	return nil
+}
+
+// AddFaulty encodes one faulty observation under the relaxed fault
+// model: an unknown non-zero difference Δ confined to one unknown
+// aligned window is XORed into the θ input of round 22, and the faulty
+// digest pins the outputs. knownWindow passes the true window index
+// when cfg.KnownPosition is set (the precise-model ablation); pass -1
+// otherwise.
+func (b *Builder) AddFaulty(faultyDigest []byte, knownWindow int) error {
+	d := b.cfg.Mode.DigestBits()
+	if len(faultyDigest)*8 < d {
+		return fmt.Errorf("core: faulty digest too short")
+	}
+
+	// Symbolic difference at the θ input of round 22.
+	delta := symbolic.NewSymInput(b.circ)
+
+	// Fault model constraints at the CNF level.
+	windows := b.cfg.Model.Windows()
+	inst := instance{deltaLits: make([]int, keccak.StateBits)}
+	for j := 0; j < keccak.StateBits; j++ {
+		inst.deltaLits[j] = b.enc.Lit(delta.Bits[j])
+	}
+	inst.selLits = make([]int, windows)
+	for p := 0; p < windows; p++ {
+		inst.selLits[p] = b.form.NewVar()
+	}
+	// A set difference bit selects one of the windows covering it
+	// (exactly one window for aligned models, a short disjunction for
+	// the sliding-window relaxations).
+	for j := 0; j < keccak.StateBits; j++ {
+		cover := b.cfg.Model.WindowCover(j)
+		clause := make([]int, 0, len(cover)+1)
+		clause = append(clause, -inst.deltaLits[j])
+		for _, p := range cover {
+			clause = append(clause, inst.selLits[p])
+		}
+		b.form.AddClause(clause...)
+	}
+	// At most one window is faulted, and the fault is non-zero.
+	b.form.AtMostOne(inst.selLits)
+	b.form.AddClause(inst.deltaLits...)
+	if b.cfg.KnownPosition {
+		if knownWindow < 0 || knownWindow >= windows {
+			return fmt.Errorf("core: KnownPosition set but window %d invalid", knownWindow)
+		}
+		b.form.Unit(inst.selLits[knownWindow])
+	}
+
+	// Faulty computation: the θ input of round 22 becomes S ⊕ Δ, so
+	// the χ input becomes α ⊕ L(Δ).
+	lDelta := delta.Clone()
+	lDelta.LinearLayer(b.circ)
+	out := b.alpha.Xor(b.circ, lDelta)
+	out.Chi(b.circ)
+	out.Iota(22)
+	out.Round(b.circ, 23)
+	b.enc.FixAll(out.DigestRefs(d), digestBits(faultyDigest, d))
+
+	b.instances = append(b.instances, inst)
+	return nil
+}
+
+// DecodeAlpha reads the recovered χ input of round 22 from a model.
+func (b *Builder) DecodeAlpha(model []bool) keccak.State {
+	var s keccak.State
+	for i, l := range b.alphaLits {
+		v := model[abs(l)]
+		if l < 0 {
+			v = !v
+		}
+		if v {
+			s.SetBit(i, true)
+		}
+	}
+	return s
+}
+
+// DecodeFault reads the recovered fault of instance k from a model.
+func (b *Builder) DecodeFault(model []bool, k int) (RecoveredFault, error) {
+	if k < 0 || k >= len(b.instances) {
+		return RecoveredFault{}, fmt.Errorf("core: instance %d out of range", k)
+	}
+	inst := b.instances[k]
+	var delta keccak.State
+	for j, l := range inst.deltaLits {
+		v := model[abs(l)]
+		if l < 0 {
+			v = !v
+		}
+		if v {
+			delta.SetBit(j, true)
+		}
+	}
+	if delta.IsZero() {
+		return RecoveredFault{Silent: true}, nil
+	}
+	f, err := fault.FaultFromDelta(b.cfg.Model, &delta)
+	if err != nil {
+		return RecoveredFault{}, fmt.Errorf("core: model violates fault model: %v", err)
+	}
+	return RecoveredFault{Fault: f}, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,113 @@
+// Package core implements the paper's contribution: algebraic fault
+// analysis (AFA) of SHA-3. It turns (correct digest, faulty digests)
+// observations into a CNF instance over the unknown χ input of the
+// penultimate round (round 22) plus per-fault difference variables,
+// solves it with the CDCL solver, and recovers the full 1600-bit
+// internal state — and from it the message block.
+//
+// The encoding follows the modeling trick described in DESIGN.md: the
+// unknown is α = χ input of round 22, so the fault (injected at the θ
+// input of round 22) enters as α ⊕ L(Δ) with L linear — one extra χ
+// layer plus one round per faulty observation, instead of two rounds.
+package core
+
+import (
+	"time"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/sat"
+)
+
+// Config parameterizes an attack.
+type Config struct {
+	Mode  keccak.Mode
+	Model fault.Model
+	// Round is the round whose θ input receives the fault. The paper
+	// uses 22 (penultimate). Only the two final rounds are modeled, so
+	// Round must be 22.
+	Round int
+	// KnownPosition fixes each fault's window selector to the true
+	// window — the *precise* (non-relaxed) variant, used as an
+	// ablation against the relaxed model.
+	KnownPosition bool
+	// SolverOptions tune the CDCL solver (budgets, feature ablations).
+	SolverOptions sat.Options
+	// UniquenessCheck switches Solve to the information-theoretic
+	// criterion: recovery is declared only when the SAT model is
+	// provably unique. This is the probe used by the information-
+	// accumulation figure. The practical attack (default) instead
+	// enumerates models and validates each candidate by inverting the
+	// permutation and checking the sponge capacity/padding — the extra
+	// information a real attacker has, which the truncated digest
+	// alone does not pin down (sparse χ/θ-cancelling perturbations of
+	// the state can stay invisible in the digest).
+	UniquenessCheck bool
+	// MaxCandidates bounds how many SAT models Solve enumerates and
+	// validates per call in the practical mode. Wrong candidates are
+	// blocked permanently (they are proven wrong, not just unwanted).
+	MaxCandidates int
+}
+
+// DefaultConfig returns the paper's setting for a given mode and model.
+func DefaultConfig(mode keccak.Mode, model fault.Model) Config {
+	return Config{
+		Mode:          mode,
+		Model:         model,
+		Round:         22,
+		MaxCandidates: 6,
+		SolverOptions: sat.Options{Timeout: 10 * time.Minute},
+	}
+}
+
+// Status classifies an attack snapshot.
+type Status int
+
+// Attack outcomes after a Solve call.
+const (
+	// Ambiguous: the constraints admit several states — more faults needed.
+	Ambiguous Status = iota
+	// Recovered: a unique (or digest-validated) state was found.
+	Recovered
+	// Inconsistent: no state satisfies the constraints (would indicate
+	// an observation outside the fault model).
+	Inconsistent
+	// BudgetExceeded: the solver ran out of its conflict/time budget.
+	BudgetExceeded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Ambiguous:
+		return "ambiguous"
+	case Recovered:
+		return "recovered"
+	case Inconsistent:
+		return "inconsistent"
+	case BudgetExceeded:
+		return "budget-exceeded"
+	default:
+		return "unknown"
+	}
+}
+
+// Result reports one Solve call.
+type Result struct {
+	Status    Status
+	ChiInput  keccak.State // candidate / recovered χ input of round 22
+	SolveTime time.Duration
+	// Candidates is how many SAT models were enumerated and validated
+	// during this call (practical mode).
+	Candidates int
+	// CNF shape at solve time, for the size figures.
+	Vars    int
+	Clauses int
+}
+
+// RecoveredFault is the solver's reconstruction of one injected fault.
+type RecoveredFault struct {
+	Fault fault.Fault
+	// Silent marks a fault whose recovered value is zero (possible
+	// only when the model's at-least-one constraint is relaxed).
+	Silent bool
+}

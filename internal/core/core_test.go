@@ -1,0 +1,337 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"sha3afa/internal/cnf"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/sat"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(keccak.SHA3_256, fault.Byte)
+	if cfg.Round != 22 || cfg.Mode != keccak.SHA3_256 || cfg.Model != fault.Byte {
+		t.Fatalf("DefaultConfig wrong: %+v", cfg)
+	}
+	if cfg.MaxCandidates <= 0 || cfg.SolverOptions.Timeout <= 0 {
+		t.Fatal("DefaultConfig missing budgets")
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		Ambiguous: "ambiguous", Recovered: "recovered",
+		Inconsistent: "inconsistent", BudgetExceeded: "budget-exceeded",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d) = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestBuilderRejectsWrongRound(t *testing.T) {
+	cfg := DefaultConfig(keccak.SHA3_256, fault.Byte)
+	cfg.Round = 21
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for round != 22")
+		}
+	}()
+	NewBuilder(cfg)
+}
+
+func TestBuilderDoubleCorrect(t *testing.T) {
+	b := NewBuilder(DefaultConfig(keccak.SHA3_256, fault.Byte))
+	digest := keccak.Sum(keccak.SHA3_256, []byte("x"))
+	if err := b.AddCorrect(digest); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddCorrect(digest); err == nil {
+		t.Fatal("second AddCorrect accepted")
+	}
+}
+
+func TestBuilderShortDigest(t *testing.T) {
+	b := NewBuilder(DefaultConfig(keccak.SHA3_512, fault.Byte))
+	if err := b.AddCorrect(make([]byte, 10)); err == nil {
+		t.Fatal("short digest accepted")
+	}
+	if err := b.AddFaulty(make([]byte, 10), -1); err == nil {
+		t.Fatal("short faulty digest accepted")
+	}
+}
+
+func TestBuilderKnownPositionValidation(t *testing.T) {
+	cfg := DefaultConfig(keccak.SHA3_256, fault.Byte)
+	cfg.KnownPosition = true
+	b := NewBuilder(cfg)
+	digest := keccak.Sum(keccak.SHA3_256, []byte("x"))
+	if err := b.AddFaulty(digest, -1); err == nil {
+		t.Fatal("KnownPosition with window -1 accepted")
+	}
+	if err := b.AddFaulty(digest, 200); err == nil {
+		t.Fatal("KnownPosition with out-of-range window accepted")
+	}
+	if err := b.AddFaulty(digest, 7); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumInstances() != 1 {
+		t.Fatal("instance not recorded")
+	}
+}
+
+func TestBuilderCNFGrowth(t *testing.T) {
+	b := NewBuilder(DefaultConfig(keccak.SHA3_224, fault.Word16))
+	digest := keccak.Sum(keccak.SHA3_224, []byte("y"))
+	if err := b.AddCorrect(digest); err != nil {
+		t.Fatal(err)
+	}
+	afterCorrect := b.Formula().NumClauses()
+	if afterCorrect == 0 {
+		t.Fatal("correct instance produced no clauses")
+	}
+	if err := b.AddFaulty(digest, -1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Formula().NumClauses() <= afterCorrect {
+		t.Fatal("faulty instance produced no clauses")
+	}
+	// Alpha literals stable and within variable range.
+	for _, l := range b.AlphaLits() {
+		if l <= 0 || l > b.Formula().NumVars() {
+			t.Fatalf("alpha literal %d out of range", l)
+		}
+	}
+}
+
+func TestDecodeAlphaRoundTrip(t *testing.T) {
+	b := NewBuilder(DefaultConfig(keccak.SHA3_256, fault.Byte))
+	model := make([]bool, b.Formula().NumVars()+1)
+	var want keccak.State
+	for i, l := range b.AlphaLits() {
+		if i%3 == 0 {
+			want.SetBit(i, true)
+			model[l] = true
+		}
+	}
+	got := b.DecodeAlpha(model)
+	if !got.Equal(&want) {
+		t.Fatal("DecodeAlpha round trip failed")
+	}
+}
+
+func TestDecodeFaultOutOfRange(t *testing.T) {
+	b := NewBuilder(DefaultConfig(keccak.SHA3_256, fault.Byte))
+	if _, err := b.DecodeFault(nil, 0); err == nil {
+		t.Fatal("DecodeFault accepted missing instance")
+	}
+}
+
+func TestUnpad(t *testing.T) {
+	ds := byte(0x06)
+	cases := []struct {
+		name  string
+		block []byte
+		want  []byte
+		ok    bool
+	}{
+		{"empty msg", []byte{0x06, 0, 0, 0x80}, []byte{}, true},
+		{"one byte", []byte{0xAB, 0x06, 0, 0x80}, []byte{0xAB}, true},
+		{"full-1", []byte{0xAB, 0xCD, 0xEF, 0x86}, []byte{0xAB, 0xCD, 0xEF}, true},
+		{"no final bit", []byte{0x06, 0, 0, 0}, nil, false},
+		{"garbage pad", []byte{0xAB, 0x05, 0, 0x80}, nil, false},
+		{"no ds byte", []byte{0, 0, 0, 0x80}, nil, false},
+		{"msg contains 06", []byte{0x06, 0x06, 0, 0x80}, []byte{0x06}, true},
+	}
+	for _, c := range cases {
+		got, ok := unpad(c.block, ds)
+		if ok != c.ok {
+			t.Errorf("%s: ok = %v, want %v", c.name, ok, c.ok)
+			continue
+		}
+		if ok && !bytes.Equal(got, c.want) {
+			t.Errorf("%s: msg = %x, want %x", c.name, got, c.want)
+		}
+	}
+}
+
+func TestExtractMessageGroundTruth(t *testing.T) {
+	for _, mode := range keccak.FixedModes {
+		msg := []byte("extraction target for " + mode.String())
+		cfg := DefaultConfig(mode, fault.Byte)
+		atk := NewAttack(cfg)
+		atk.AddCorrect(keccak.Sum(mode, msg))
+		chi := keccak.TraceHash(mode, msg).ChiInput(22)
+		got, ok := atk.ExtractMessage(chi)
+		if !ok || !bytes.Equal(got, msg) {
+			t.Fatalf("%s: ExtractMessage failed: ok=%v got=%q", mode, ok, got)
+		}
+		if !atk.ValidateCandidate(chi) {
+			t.Fatalf("%s: ground truth does not validate", mode)
+		}
+		// A perturbed state must not validate.
+		bad := chi
+		bad.FlipBit(1234)
+		if atk.ValidateCandidate(bad) {
+			t.Fatalf("%s: wrong state validated", mode)
+		}
+	}
+}
+
+func TestExtractMessageSHAKEModes(t *testing.T) {
+	// The XOF modes use a different domain byte (0x1F); extraction
+	// must honor it.
+	for _, mode := range []keccak.Mode{keccak.SHAKE128, keccak.SHAKE256} {
+		msg := []byte("xof extraction " + mode.String())
+		atk := NewAttack(DefaultConfig(mode, fault.Byte))
+		atk.AddCorrect(keccak.Sum(mode, msg))
+		chi := keccak.TraceHash(mode, msg).ChiInput(22)
+		got, ok := atk.ExtractMessage(chi)
+		if !ok || !bytes.Equal(got, msg) {
+			t.Fatalf("%s: SHAKE extraction failed", mode)
+		}
+		if !atk.ValidateCandidate(chi) {
+			t.Fatalf("%s: SHAKE ground truth does not validate", mode)
+		}
+	}
+}
+
+func TestBuilderUnalignedModelShape(t *testing.T) {
+	// The sliding-window model must produce cover clauses mentioning
+	// several selectors.
+	b := NewBuilder(DefaultConfig(keccak.SHA3_512, fault.UnalignedByte))
+	digest := keccak.Sum(keccak.SHA3_512, []byte("u"))
+	if err := b.AddCorrect(digest); err != nil {
+		t.Fatal(err)
+	}
+	before := b.Formula().NumClauses()
+	if err := b.AddFaulty(digest, -1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Formula().NumClauses() <= before {
+		t.Fatal("unaligned instance produced no clauses")
+	}
+}
+
+func TestSolveBeforeCorrectErrors(t *testing.T) {
+	atk := NewAttack(DefaultConfig(keccak.SHA3_256, fault.Byte))
+	if _, err := atk.Solve(); err == nil {
+		t.Fatal("Solve before AddCorrect accepted")
+	}
+}
+
+func TestRecoveredFaultsBeforeModelErrors(t *testing.T) {
+	atk := NewAttack(DefaultConfig(keccak.SHA3_256, fault.Byte))
+	if _, err := atk.RecoveredFaults(); err == nil {
+		t.Fatal("RecoveredFaults before any model accepted")
+	}
+	if _, err := atk.ProbeDetermined([]int{0}); err == nil {
+		t.Fatal("ProbeDetermined before any model accepted")
+	}
+}
+
+// TestKnownPositionRecovery: with the precise fault-position variant
+// and a concentrated campaign, the attack should need few faults and
+// stay fast — a cheap end-to-end exercise of the whole pipeline.
+func TestKnownPositionRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	msg := []byte("known position attack")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, 40, 5)
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	cfg := DefaultConfig(mode, fault.Byte)
+	cfg.KnownPosition = true
+	atk := NewAttack(cfg)
+	if err := atk.AddCorrect(correct); err != nil {
+		t.Fatal(err)
+	}
+	for i, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+		res, err := atk.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == Recovered {
+			if !res.ChiInput.Equal(&truth) {
+				t.Fatal("recovered wrong state")
+			}
+			t.Logf("known-position recovery after %d faults", i+1)
+			// Fault identification must reproduce ground truth.
+			rfs, err := atk.RecoveredFaults()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, rf := range rfs {
+				if rf.Silent || rf.Fault != injs[k].Fault {
+					t.Fatalf("fault %d misidentified: %+v vs %+v", k, rf, injs[k].Fault)
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("not recovered with known positions after 40 faults")
+}
+
+func TestInconsistentObservations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	// A "faulty digest" unrelated to the correct one under a 1-bit
+	// model is (with overwhelming probability) outside the fault model
+	// — the attack must report Inconsistent, not fabricate a state.
+	mode := keccak.SHA3_512
+	cfg := DefaultConfig(mode, fault.SingleBit)
+	atk := NewAttack(cfg)
+	atk.AddCorrect(keccak.Sum(mode, []byte("real message")))
+	atk.AddFaulty(keccak.Sum(mode, []byte("completely unrelated")), -1)
+	res, err := atk.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Inconsistent {
+		t.Fatalf("status = %s, want inconsistent", res.Status)
+	}
+}
+
+func TestFormulaExportParsesBack(t *testing.T) {
+	b := NewBuilder(DefaultConfig(keccak.SHA3_224, fault.Byte))
+	digest := keccak.Sum(keccak.SHA3_224, []byte("export"))
+	b.AddCorrect(digest)
+	b.AddFaulty(digest, -1)
+	var buf bytes.Buffer
+	if err := b.Formula().WriteDIMACS(&buf, "test instance"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cnf.ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumClauses() != b.Formula().NumClauses() {
+		t.Fatal("DIMACS round trip changed clause count")
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	mode := keccak.SHA3_224
+	msg := []byte("budget")
+	correct, injs := fault.Campaign(mode, msg, fault.Word16, 22, 1, 3)
+	cfg := DefaultConfig(mode, fault.Word16)
+	cfg.SolverOptions = sat.Options{MaxConflicts: 1}
+	atk := NewAttack(cfg)
+	atk.AddCorrect(correct)
+	atk.AddInjection(injs[0])
+	res, err := atk.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != BudgetExceeded {
+		t.Fatalf("status = %s, want budget-exceeded", res.Status)
+	}
+}

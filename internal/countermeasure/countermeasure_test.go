@@ -1,0 +1,150 @@
+package countermeasure
+
+import (
+	"bytes"
+	"testing"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+func TestTemporalRedundancyCleanRun(t *testing.T) {
+	for _, mode := range keccak.FixedModes {
+		msg := []byte("clean " + mode.String())
+		d := TemporalRedundancy(mode, msg, 4, 22, nil)
+		if d.Detected {
+			t.Fatalf("%s: false positive on clean run", mode)
+		}
+		if !bytes.Equal(d.Digest, keccak.Sum(mode, msg)) {
+			t.Fatalf("%s: protected digest differs from plain digest", mode)
+		}
+	}
+}
+
+func TestTemporalRedundancyDetectsGuardedFault(t *testing.T) {
+	mode := keccak.SHA3_256
+	msg := []byte("guarded fault")
+	inj := fault.NewInjector(fault.Byte, 1)
+	detected := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		delta := inj.Sample().Delta()
+		// Guard covers rounds 20..23; fault at round 22 is inside.
+		d := TemporalRedundancy(mode, msg, 4, 22, &delta)
+		if d.Detected {
+			detected++
+		}
+	}
+	if detected != trials {
+		t.Fatalf("temporal redundancy detected %d/%d guarded faults", detected, trials)
+	}
+}
+
+func TestTemporalRedundancyMissesEarlyFault(t *testing.T) {
+	mode := keccak.SHA3_256
+	msg := []byte("early fault")
+	var delta keccak.State
+	delta.SetBit(100, true)
+	// Guard covers rounds 22..23 only; fault at round 10 is baked
+	// into the snapshot and must go undetected (the coverage boundary).
+	d := TemporalRedundancy(mode, msg, 2, 10, &delta)
+	if d.Detected {
+		t.Fatal("fault before the snapshot should evade temporal redundancy")
+	}
+	// And the digest is indeed faulty (the protection failed silently).
+	if bytes.Equal(d.Digest, keccak.Sum(mode, msg)) {
+		t.Fatal("fault did not alter the digest")
+	}
+}
+
+func TestParityGuardCleanRun(t *testing.T) {
+	for _, mode := range keccak.FixedModes {
+		msg := []byte("parity clean " + mode.String())
+		d := ParityGuard(mode, msg, 22, nil)
+		if d.Detected {
+			t.Fatalf("%s: parity guard false positive", mode)
+		}
+		if !bytes.Equal(d.Digest, keccak.Sum(mode, msg)) {
+			t.Fatalf("%s: parity-guarded digest differs", mode)
+		}
+	}
+}
+
+func TestParityGuardDetectsOddFaults(t *testing.T) {
+	// A fault whose per-lane injected pattern has odd parity must trip
+	// the guard; an even (e.g. two-bit same-lane) pattern must not.
+	mode := keccak.SHA3_256
+	msg := []byte("parity faults")
+
+	var odd keccak.State
+	odd.SetBit(300, true)
+	if d := ParityGuard(mode, msg, 22, &odd); !d.Detected {
+		t.Fatal("single-bit fault not detected by parity guard")
+	}
+
+	var even keccak.State
+	even.SetBit(300, true)
+	even.SetBit(301, true) // same lane, even parity
+	if d := ParityGuard(mode, msg, 22, &even); d.Detected {
+		t.Fatal("even-parity same-lane fault should evade the parity guard")
+	}
+}
+
+func TestParityGuardDetectionRateByModel(t *testing.T) {
+	// Detection rate = P(some lane receives an odd number of flipped
+	// bits). For byte faults within one lane this is P(odd popcount of
+	// a uniform non-zero byte) = 128/255.
+	mode := keccak.SHA3_512
+	msg := []byte("rate test")
+	inj := fault.NewInjector(fault.Byte, 9)
+	detected := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		delta := inj.Sample().Delta()
+		if ParityGuard(mode, msg, 22, &delta).Detected {
+			detected++
+		}
+	}
+	rate := float64(detected) / trials
+	if rate < 0.45 || rate > 0.55 {
+		t.Fatalf("byte-fault parity detection rate %.3f, expected ≈ 0.502", rate)
+	}
+}
+
+func TestInfective(t *testing.T) {
+	mode := keccak.SHA3_256
+	clean := Detection{Digest: keccak.Sum(mode, []byte("m")), Detected: false}
+	if !bytes.Equal(Infective(clean, mode), clean.Digest) {
+		t.Fatal("infective mangled a clean digest")
+	}
+	bad := Detection{Digest: clean.Digest, Detected: true}
+	out := Infective(bad, mode)
+	if bytes.Equal(out, clean.Digest) {
+		t.Fatal("infective leaked the faulty digest")
+	}
+	if len(out) != len(clean.Digest) {
+		t.Fatal("infective changed digest length")
+	}
+}
+
+func TestPredictLinearParityMatchesConcrete(t *testing.T) {
+	var s keccak.State
+	for i := range s {
+		s[i] = uint64(i)*0x9E3779B97F4A7C15 + 1
+	}
+	pred := predictLinearParity(&s)
+	got := s
+	got.LinearLayer()
+	if pred != laneParities(&got) {
+		t.Fatal("linear parity prediction wrong")
+	}
+}
+
+func TestTemporalRedundancyBadGuardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for guardRounds 0")
+		}
+	}()
+	TemporalRedundancy(keccak.SHA3_256, nil, 0, 22, nil)
+}

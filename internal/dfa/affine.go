@@ -1,0 +1,140 @@
+package dfa
+
+import "sha3afa/internal/keccak"
+
+// Joint variable space of the DFA linear system: variables 0..1599 are
+// the bits of α (χ input of round 22), 1600..3199 the bits of
+// β = χ(α) (χ output of round 22).
+const (
+	numAVars = keccak.StateBits
+	numVars  = 2 * keccak.StateBits
+	bVarBase = keccak.StateBits
+)
+
+// affine is a sparse GF(2) affine expression over the joint variables.
+type affine struct {
+	coeffs map[int32]struct{}
+	c      bool
+}
+
+func affineConst(b bool) affine {
+	return affine{coeffs: map[int32]struct{}{}, c: b}
+}
+
+func affineVar(v int32) affine {
+	return affine{coeffs: map[int32]struct{}{v: {}}}
+}
+
+func (a *affine) clone() affine {
+	out := affine{coeffs: make(map[int32]struct{}, len(a.coeffs)), c: a.c}
+	for k := range a.coeffs {
+		out.coeffs[k] = struct{}{}
+	}
+	return out
+}
+
+// xor accumulates o into a.
+func (a *affine) xor(o *affine) {
+	for k := range o.coeffs {
+		if _, ok := a.coeffs[k]; ok {
+			delete(a.coeffs, k)
+		} else {
+			a.coeffs[k] = struct{}{}
+		}
+	}
+	a.c = a.c != o.c
+}
+
+// isConst reports whether the expression has no variable terms.
+func (a *affine) isConst() bool { return len(a.coeffs) == 0 }
+
+// affineState is a 1600-wide vector of affine expressions in keccak
+// bit order.
+type affineState []affine
+
+func newAffineState() affineState {
+	s := make(affineState, keccak.StateBits)
+	for i := range s {
+		s[i] = affineConst(false)
+	}
+	return s
+}
+
+func (s affineState) at(x, y, z int) *affine {
+	return &s[keccak.BitIndex(x, y, z)]
+}
+
+// thetaAffine applies θ to a vector of affine expressions.
+func thetaAffine(in affineState) affineState {
+	// Column parities.
+	parity := make([]affine, 5*64)
+	for x := 0; x < 5; x++ {
+		for z := 0; z < 64; z++ {
+			p := affineConst(false)
+			for y := 0; y < 5; y++ {
+				p.xor(in.at(x, y, z))
+			}
+			parity[x*64+z] = p
+		}
+	}
+	out := make(affineState, keccak.StateBits)
+	for x := 0; x < 5; x++ {
+		for z := 0; z < 64; z++ {
+			d := parity[((x+4)%5)*64+z].clone()
+			d.xor(&parity[((x+1)%5)*64+(z+63)%64])
+			for y := 0; y < 5; y++ {
+				e := in.at(x, y, z).clone()
+				e.xor(&d)
+				out[keccak.BitIndex(x, y, z)] = e
+			}
+		}
+	}
+	return out
+}
+
+// rhoAffine and piAffine are wire permutations of the expressions.
+func rhoAffine(in affineState) affineState {
+	out := make(affineState, keccak.StateBits)
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			off := keccak.RhoOffsets[x][y]
+			for z := 0; z < 64; z++ {
+				out[keccak.BitIndex(x, y, (z+off)%64)] = in[keccak.BitIndex(x, y, z)]
+			}
+		}
+	}
+	return out
+}
+
+func piAffine(in affineState) affineState {
+	out := make(affineState, keccak.StateBits)
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			for z := 0; z < 64; z++ {
+				out[keccak.BitIndex(x, y, z)] = in[keccak.BitIndex((x+3*y)%5, x, z)]
+			}
+		}
+	}
+	return out
+}
+
+// linearLayerAffine applies L = π ∘ ρ ∘ θ.
+func linearLayerAffine(in affineState) affineState {
+	return piAffine(rhoAffine(thetaAffine(in)))
+}
+
+// chiInput23OverB returns, for every bit of the χ input of round 23,
+// its affine expression over the β variables: in' = L(β ⊕ RC22).
+// Computed once per attack session and shared across faults.
+func chiInput23OverB() affineState {
+	seed := newAffineState()
+	rc := keccak.RoundConstants[22]
+	for i := 0; i < keccak.StateBits; i++ {
+		e := affineVar(int32(bVarBase + i))
+		if i < 64 && rc>>uint(i)&1 == 1 {
+			e.c = true
+		}
+		seed[i] = e
+	}
+	return linearLayerAffine(seed)
+}

@@ -1,0 +1,392 @@
+package dfa
+
+import (
+	"bytes"
+	"fmt"
+
+	"sha3afa/internal/bitmat"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// Status mirrors the AFA result taxonomy.
+type Status int
+
+// DFA outcomes.
+const (
+	Ambiguous Status = iota
+	Recovered
+	Inconsistent
+)
+
+func (s Status) String() string {
+	switch s {
+	case Recovered:
+		return "recovered"
+	case Inconsistent:
+		return "inconsistent"
+	default:
+		return "ambiguous"
+	}
+}
+
+// Result reports a DFA snapshot after processing the injections so far.
+type Result struct {
+	Status     Status
+	ChiInput   keccak.State // recovered χ input of round 22 when Status == Recovered
+	ForcedA    int          // α bits currently forced
+	ForcedB    int          // β bits currently forced
+	Identified int          // faults identified uniquely so far
+	Partial    int          // ambiguous faults absorbed via candidate-intersection
+	Skipped    int          // faults skipped (identification failed outright)
+}
+
+// Attack is a DFA session over one message's observations.
+type Attack struct {
+	mode       keccak.Mode
+	model      fault.Model
+	correct    []byte
+	sys        *bitmat.LinearSystem
+	inPrime    affineState // χ^23 input over β, shared across faults
+	identified int
+	partial    int // ambiguous injections absorbed via equation intersection
+	skipped    int
+	// ruleFired memoizes χ-relation rules already absorbed, so the
+	// fixpoint loop does not pay an O(rank) redundant reduction for
+	// every rule on every pass.
+	ruleFired map[uint32]bool
+}
+
+// NewAttack prepares a DFA session. The correct digest must be set
+// via AddCorrect before injections are processed.
+func NewAttack(mode keccak.Mode, model fault.Model) *Attack {
+	return &Attack{
+		mode:      mode,
+		model:     model,
+		sys:       bitmat.NewLinearSystem(numVars),
+		inPrime:   chiInput23OverB(),
+		ruleFired: make(map[uint32]bool),
+	}
+}
+
+// AddCorrect records the fault-free digest.
+func (a *Attack) AddCorrect(digest []byte) {
+	a.correct = append([]byte(nil), digest...)
+}
+
+// maxAmbiguous bounds how many surviving identification candidates
+// DFA is willing to reason about jointly: with more, the injection is
+// skipped (the paper's identification-failure case).
+const maxAmbiguous = 64
+
+// AddInjection identifies the fault behind a faulty digest and absorbs
+// its linear equations. When identification is ambiguous but the
+// candidate set is small, only the equations shared by *every*
+// candidate are absorbed — sound regardless of which candidate is the
+// real fault. Returns whether the fault was identified uniquely.
+// Identification is exhaustive for the 1-bit and byte models; the
+// wider relaxed models make DFA infeasible (the error explains why —
+// this is the comparison point of the paper).
+func (a *Attack) AddInjection(inj fault.Injection) (bool, error) {
+	if a.correct == nil {
+		return false, fmt.Errorf("dfa: AddInjection before AddCorrect")
+	}
+	d := a.mode.DigestBits()
+	cands, err := Identify(a.model, a.correct, inj.FaultyDigest, d)
+	if err != nil {
+		return false, err
+	}
+	// Contradiction filtering: a candidate whose equations clash with
+	// knowledge accumulated so far cannot be the real fault.
+	if len(cands) > 1 && len(cands) <= maxAmbiguous && a.sys.Rank() > 0 {
+		kept := cands[:0]
+		for _, f := range cands {
+			if !a.contradicts(f, inj.FaultyDigest) {
+				kept = append(kept, f)
+			}
+		}
+		cands = kept
+	}
+	switch {
+	case len(cands) == 1:
+		a.identified++
+		for _, eq := range a.equations(cands[0], inj.FaultyDigest) {
+			a.sys.AddEquation(eq.coeffs, eq.rhs)
+		}
+		a.propagateChiRelation()
+		return true, nil
+	case len(cands) >= 2 && len(cands) <= maxAmbiguous:
+		// Absorb the intersection of all candidates' equation sets.
+		common := a.commonEquations(cands, inj.FaultyDigest)
+		for _, eq := range common {
+			a.sys.AddEquation(eq.coeffs, eq.rhs)
+		}
+		if len(common) > 0 {
+			a.partial++
+			a.propagateChiRelation()
+		} else {
+			a.skipped++
+		}
+		return false, nil
+	default:
+		a.skipped++
+		return false, nil
+	}
+}
+
+// AddInjectionKnown absorbs an injection whose fault is already known
+// (oracle identification). It isolates DFA's equation-extraction power
+// from its identification weakness: the paper-style comparison "how
+// many faults does the differential method need, given the fault" —
+// the most favourable setting for the baseline.
+func (a *Attack) AddInjectionKnown(inj fault.Injection) error {
+	if a.correct == nil {
+		return fmt.Errorf("dfa: AddInjectionKnown before AddCorrect")
+	}
+	a.identified++
+	for _, eq := range a.equations(inj.Fault, inj.FaultyDigest) {
+		a.sys.AddEquation(eq.coeffs, eq.rhs)
+	}
+	a.propagateChiRelation()
+	return nil
+}
+
+// equation is one extracted linear constraint over the joint (α, β)
+// variables.
+type equation struct {
+	coeffs *bitmat.Vec
+	rhs    bool
+}
+
+func (e equation) key() string {
+	return e.coeffs.String() + map[bool]string{false: "0", true: "1"}[e.rhs]
+}
+
+// contradicts reports whether a candidate's equations clash with the
+// current system (checked without mutating it).
+func (a *Attack) contradicts(f fault.Fault, faultyDigest []byte) bool {
+	for _, eq := range a.equations(f, faultyDigest) {
+		if a.sys.Contradicts(eq.coeffs, eq.rhs) {
+			return true
+		}
+	}
+	return false
+}
+
+// commonEquations returns the equations every candidate agrees on.
+func (a *Attack) commonEquations(cands []fault.Fault, faultyDigest []byte) []equation {
+	counts := map[string]int{}
+	var first []equation
+	for i, f := range cands {
+		eqs := a.equations(f, faultyDigest)
+		if i == 0 {
+			first = eqs
+		}
+		seen := map[string]bool{}
+		for _, eq := range eqs {
+			k := eq.key()
+			if !seen[k] {
+				seen[k] = true
+				counts[k]++
+			}
+		}
+	}
+	var out []equation
+	for _, eq := range first {
+		if counts[eq.key()] == len(cands) {
+			out = append(out, eq)
+		}
+	}
+	return out
+}
+
+// equations pushes the fault's affine difference through the last two
+// rounds and collects every equation that stays linear over (α, β).
+func (a *Attack) equations(f fault.Fault, faultyDigest []byte) []equation {
+	d := a.mode.DigestBits()
+	// Exact χ-input difference of round 22.
+	chiInDiff := f.Delta()
+	chiInDiff.LinearLayer()
+
+	// β difference as affine expressions over α.
+	deltaB := newAffineState()
+	for y := 0; y < 5; y++ {
+		for z := 0; z < 64; z++ {
+			var din [5]bool
+			for x := 0; x < 5; x++ {
+				din[x] = chiInDiff.Bit(keccak.BitIndex(x, y, z))
+			}
+			for x := 0; x < 5; x++ {
+				d0, d1, d2 := din[x], din[(x+1)%5], din[(x+2)%5]
+				e := affineConst(d0 != d2 != (d1 && d2))
+				if d2 {
+					e.coeffs[int32(keccak.BitIndex((x+1)%5, y, z))] = struct{}{}
+				}
+				if d1 {
+					e.coeffs[int32(keccak.BitIndex((x+2)%5, y, z))] = struct{}{}
+				}
+				deltaB[keccak.BitIndex(x, y, z)] = e
+			}
+		}
+	}
+
+	// Difference at the χ input of round 23 (ι is difference-neutral).
+	deltaIn23 := linearLayerAffine(deltaB)
+
+	// Observed digest difference.
+	obs := digestDiff(a.correct, faultyDigest, d)
+
+	// χ^23: keep equations whose neighbour differences are constant.
+	var out []equation
+	for i := 0; i < d; i++ {
+		x, y, z := keccak.BitCoords(i)
+		i1 := keccak.BitIndex((x+1)%5, y, z)
+		i2 := keccak.BitIndex((x+2)%5, y, z)
+		d1 := &deltaIn23[i1]
+		d2 := &deltaIn23[i2]
+		if !d1.isConst() || !d2.isConst() {
+			continue // value-dependent: quadratic over (α,β) — AFA-only territory
+		}
+		c1, c2 := d1.c, d2.c
+		eq := deltaIn23[i].clone()
+		eq.c = eq.c != c2 != (c1 && c2)
+		if c2 {
+			eq.xor(&a.inPrime[i1])
+		}
+		if c1 {
+			eq.xor(&a.inPrime[i2])
+		}
+		coeffs := bitmat.NewVec(numVars)
+		for k := range eq.coeffs {
+			coeffs.Set(int(k), true)
+		}
+		out = append(out, equation{coeffs: coeffs, rhs: obs.Bit(i) != eq.c})
+	}
+	return out
+}
+
+// propagateChiRelation links α and β through the χ row relation
+// β_i = α_i ⊕ α_{i+2} ⊕ α_{i+1}·α_{i+2}, adding linear consequences
+// whenever enough neighbouring bits are forced, to a fixpoint.
+func (a *Attack) propagateChiRelation() {
+	for {
+		before := a.sys.Rank()
+		forced := a.sys.Forced()
+		get := func(v int) (bool, bool) {
+			val, ok := forced[v]
+			return val, ok
+		}
+		// Each rule is keyed so it pays its O(rank) reduction only once.
+		addRel := func(key uint32, ai, bi int, rhs bool) {
+			if a.ruleFired[key] {
+				return
+			}
+			a.ruleFired[key] = true
+			coeffs := bitmat.NewVec(numVars)
+			coeffs.Set(ai, true)
+			coeffs.Set(bi, true)
+			a.sys.AddEquation(coeffs, rhs)
+		}
+		assign := func(v int, val bool) {
+			if _, ok := get(v); !ok {
+				a.sys.Assign(v, val)
+			}
+		}
+		for y := 0; y < 5; y++ {
+			for z := 0; z < 64; z++ {
+				for x := 0; x < 5; x++ {
+					ai := keccak.BitIndex(x, y, z)
+					a1 := keccak.BitIndex((x+1)%5, y, z)
+					a2 := keccak.BitIndex((x+2)%5, y, z)
+					bi := bVarBase + ai
+
+					v1, ok1 := get(a1)
+					v2, ok2 := get(a2)
+					switch {
+					case ok1 && ok2:
+						// β_i ⊕ α_i = (¬α_{i+1})·α_{i+2} known.
+						addRel(uint32(ai), ai, bi, !v1 && v2)
+					case ok2 && !v2, ok1 && v1:
+						// The product term vanishes: β_i = α_i.
+						addRel(uint32(ai)|1<<20, ai, bi, false)
+					}
+
+					// Reverse direction: α_i and β_i forced reveals the
+					// product value (¬α_{i+1})·α_{i+2}.
+					vai, okai := get(ai)
+					vbi, okbi := get(bi)
+					if okai && okbi {
+						if vai != vbi {
+							// Product is 1: α_{i+1}=0 and α_{i+2}=1.
+							assign(a1, false)
+							assign(a2, true)
+						} else {
+							// Product is 0: (α_{i+1},α_{i+2}) ≠ (0,1).
+							if ok1 && !v1 {
+								assign(a2, false)
+							}
+							if ok2 && v2 {
+								assign(a1, true)
+							}
+						}
+					}
+				}
+			}
+		}
+		if a.sys.Rank() == before {
+			return
+		}
+	}
+}
+
+// Snapshot reports the current recovery state, attempting full
+// reconstruction when every α bit is forced.
+func (a *Attack) Snapshot() Result {
+	res := Result{Identified: a.identified, Partial: a.partial, Skipped: a.skipped}
+	if a.sys.Inconsistent() {
+		res.Status = Inconsistent
+		return res
+	}
+	forced := a.sys.Forced()
+	var chi keccak.State
+	nA := 0
+	for v, val := range forced {
+		if v < numAVars {
+			nA++
+			if val {
+				chi.SetBit(v, true)
+			}
+		} else {
+			res.ForcedB++
+		}
+	}
+	res.ForcedA = nA
+	if nA < numAVars {
+		res.Status = Ambiguous
+		return res
+	}
+	// Full α recovered: validate against the correct digest.
+	s := chi
+	s.Chi()
+	s.Iota(22)
+	s.Round(23)
+	if !bytes.Equal(s.ExtractBytes(a.mode.DigestBits()/8), a.correct) {
+		res.Status = Inconsistent
+		return res
+	}
+	res.Status = Recovered
+	res.ChiInput = chi
+	return res
+}
+
+// ForcedBits returns the number of forced α bits (for the
+// information-accumulation comparison against AFA).
+func (a *Attack) ForcedBits() int {
+	n := 0
+	for v := range a.sys.Forced() {
+		if v < numAVars {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,260 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+func TestTriStateThetaMatchesExact(t *testing.T) {
+	// With no unknown bits, three-valued propagation must equal the
+	// exact linear propagation.
+	rng := rand.New(rand.NewSource(1))
+	var d keccak.State
+	for i := 0; i < 20; i++ {
+		d.SetBit(rng.Intn(keccak.StateBits), true)
+	}
+	ts := fromExact(d)
+	ts.theta()
+	ts.rho()
+	ts.pi()
+	want := d
+	want.LinearLayer()
+	if !ts.unk.IsZero() {
+		t.Fatal("linear steps introduced unknowns")
+	}
+	if !ts.val.Equal(&want) {
+		t.Fatal("three-valued linear propagation differs from exact")
+	}
+}
+
+func TestTriStateChiSoundness(t *testing.T) {
+	// Whatever the actual state values, the true output difference of
+	// χ must agree with the three-valued prediction on known bits.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		var din keccak.State
+		for i := 0; i < 1+rng.Intn(30); i++ {
+			din.SetBit(rng.Intn(keccak.StateBits), true)
+		}
+		ts := fromExact(din)
+		ts.chi()
+
+		var in keccak.State
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		a := in
+		a.Chi()
+		b := in
+		b.Xor(&din)
+		b.Chi()
+		trueDiff := a
+		trueDiff.Xor(&b)
+
+		for i := 0; i < keccak.StateBits; i++ {
+			if ts.unk.Bit(i) {
+				continue
+			}
+			if ts.val.Bit(i) != trueDiff.Bit(i) {
+				t.Fatalf("trial %d: χ 3-valued prediction wrong at bit %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestPropagateCandidateSoundness(t *testing.T) {
+	// End-to-end: known digest-difference bits predicted by the
+	// propagation must match an actual faulty computation.
+	rng := rand.New(rand.NewSource(3))
+	msg := []byte("soundness check")
+	mode := keccak.SHA3_512
+	correct := keccak.Sum(mode, msg)
+	for trial := 0; trial < 20; trial++ {
+		f := fault.Fault{Model: fault.Byte, Window: rng.Intn(200), Value: 1 + uint64(rng.Intn(255))}
+		delta := f.Delta()
+		faulty := keccak.HashWithFault(mode, msg, 22, &delta)
+		obs := digestDiff(correct, faulty, mode.DigestBits())
+		ts := propagateCandidate(f.Delta())
+		if !ts.digestConsistent(&obs, mode.DigestBits()) {
+			t.Fatalf("trial %d: true fault inconsistent with its own digest diff", trial)
+		}
+	}
+}
+
+func TestIdentifySingleBit(t *testing.T) {
+	msg := []byte("identify me")
+	mode := keccak.SHA3_512
+	correct := keccak.Sum(mode, msg)
+	rng := rand.New(rand.NewSource(4))
+	unique := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		f := fault.Fault{Model: fault.SingleBit, Window: rng.Intn(1600), Value: 1}
+		delta := f.Delta()
+		faulty := keccak.HashWithFault(mode, msg, 22, &delta)
+		cands, err := Identify(fault.SingleBit, correct, faulty, mode.DigestBits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, c := range cands {
+			if c == f {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: true fault not among %d candidates", trial, len(cands))
+		}
+		if len(cands) == 1 {
+			unique++
+		}
+	}
+	if unique == 0 {
+		t.Fatal("no single-bit fault was identified uniquely on SHA3-512")
+	}
+	t.Logf("unique identification: %d/%d", unique, trials)
+}
+
+func TestIdentifyWideModelsRejected(t *testing.T) {
+	if _, err := Identify(fault.Word16, nil, nil, 512); err == nil {
+		t.Fatal("16-bit identification should be reported infeasible")
+	}
+	if _, err := Identify(fault.Word32, nil, nil, 512); err == nil {
+		t.Fatal("32-bit identification should be reported infeasible")
+	}
+}
+
+func TestAffineLinearLayerMatchesConcrete(t *testing.T) {
+	// Evaluate the affine linear layer on concrete seeds and compare
+	// with keccak's linear layer.
+	rng := rand.New(rand.NewSource(5))
+	var in keccak.State
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	seed := newAffineState()
+	for i := 0; i < keccak.StateBits; i++ {
+		seed[i] = affineConst(in.Bit(i))
+	}
+	out := linearLayerAffine(seed)
+	want := in
+	want.LinearLayer()
+	for i := 0; i < keccak.StateBits; i++ {
+		e := out[i]
+		if !e.isConst() {
+			t.Fatalf("bit %d: constant seeds produced variables", i)
+		}
+		if e.c != want.Bit(i) {
+			t.Fatalf("bit %d: affine linear layer wrong", i)
+		}
+	}
+}
+
+func TestChiInput23OverBEvaluates(t *testing.T) {
+	// in' = L(β ⊕ RC22) — substitute a concrete β and compare.
+	rng := rand.New(rand.NewSource(6))
+	var beta keccak.State
+	for i := range beta {
+		beta[i] = rng.Uint64()
+	}
+	exprs := chiInput23OverB()
+	want := beta
+	want.Iota(22)
+	want.LinearLayer()
+	for i := 0; i < keccak.StateBits; i++ {
+		e := exprs[i]
+		got := e.c
+		for k := range e.coeffs {
+			if int(k) < bVarBase {
+				t.Fatalf("bit %d: expression references α variables", i)
+			}
+			if beta.Bit(int(k) - bVarBase) {
+				got = !got
+			}
+		}
+		if got != want.Bit(i) {
+			t.Fatalf("bit %d: in' expression wrong", i)
+		}
+	}
+}
+
+// TestDFAEquationsSoundness: every equation extracted from a real
+// injection must be satisfied by the ground-truth (α, β).
+func TestDFAEquationsSoundness(t *testing.T) {
+	msg := []byte("equation soundness")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.SingleBit, 22, 10, 11)
+	tr := keccak.TraceHash(mode, msg)
+	alpha := tr.ChiInput(22)
+	beta := alpha
+	beta.Chi()
+
+	atk := NewAttack(mode, fault.SingleBit)
+	atk.AddCorrect(correct)
+	for _, inj := range injs {
+		if _, err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+		// Check ground truth satisfies the running system.
+		forced := atk.sys.Forced()
+		for v, val := range forced {
+			var want bool
+			if v < numAVars {
+				want = alpha.Bit(v)
+			} else {
+				want = beta.Bit(v - bVarBase)
+			}
+			if val != want {
+				t.Fatalf("forced var %d contradicts ground truth", v)
+			}
+		}
+		if atk.sys.Inconsistent() {
+			t.Fatal("system became inconsistent on genuine observations")
+		}
+	}
+	snap := atk.Snapshot()
+	t.Logf("after %d single-bit faults: forcedA=%d forcedB=%d identified=%d skipped=%d",
+		len(injs), snap.ForcedA, snap.ForcedB, snap.Identified, snap.Skipped)
+}
+
+// TestDFASmokeRecovery runs DFA with single-bit faults on SHA3-512
+// until full recovery (single-bit identification is exact, so this
+// exercises the complete pipeline).
+func TestDFASmokeRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long DFA recovery test skipped in -short mode")
+	}
+	msg := []byte("dfa full recovery")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.SingleBit, 22, 3000, 13)
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	atk := NewAttack(mode, fault.SingleBit)
+	atk.AddCorrect(correct)
+	for i, inj := range injs {
+		if _, err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%250 == 0 {
+			snap := atk.Snapshot()
+			t.Logf("faults=%d forcedA=%d forcedB=%d", i+1, snap.ForcedA, snap.ForcedB)
+		}
+		snap := atk.Snapshot()
+		if snap.Status == Recovered {
+			if !snap.ChiInput.Equal(&truth) {
+				t.Fatal("DFA recovered a wrong state")
+			}
+			t.Logf("DFA recovered after %d single-bit faults", i+1)
+			return
+		}
+		if snap.Status == Inconsistent {
+			t.Fatal("DFA inconsistent on genuine observations")
+		}
+	}
+	snap := atk.Snapshot()
+	t.Logf("not fully recovered after %d faults: forcedA=%d/%d forcedB=%d",
+		len(injs), snap.ForcedA, numAVars, snap.ForcedB)
+}

@@ -1,0 +1,92 @@
+package dfa
+
+import (
+	"fmt"
+	"sync"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// Candidate signatures are message-independent (difference propagation
+// never reads state values), so they are computed once per model and
+// reused across injections and attack sessions.
+var (
+	sigMu    sync.Mutex
+	sigCache = map[fault.Model][]candidateSig{}
+)
+
+type candidateSig struct {
+	f   fault.Fault
+	sig triState
+}
+
+func signatures(m fault.Model) []candidateSig {
+	sigMu.Lock()
+	defer sigMu.Unlock()
+	if s, ok := sigCache[m]; ok {
+		return s
+	}
+	maxVal := uint64(1) << uint(m.Width())
+	out := make([]candidateSig, 0, m.Windows()*int(maxVal-1))
+	for w := 0; w < m.Windows(); w++ {
+		for v := uint64(1); v < maxVal; v++ {
+			f := fault.Fault{Model: m, Window: w, Value: v}
+			out = append(out, candidateSig{f: f, sig: propagateCandidate(f.Delta())})
+		}
+	}
+	sigCache[m] = out
+	return out
+}
+
+// Identify enumerates every fault candidate of the model and keeps
+// those whose three-valued difference propagation is consistent with
+// the observed digest difference. For the 1-bit and byte models the
+// candidate space is small enough to enumerate exhaustively (1600 and
+// 51000); the 16- and 32-bit models have 2^16·100 and 2^32·50
+// candidates — the enumeration that makes classical DFA impractical
+// under strongly relaxed models, which is the paper's motivation for
+// AFA. Identify returns an error for those models.
+func Identify(m fault.Model, correct, faulty []byte, digestBits int) ([]fault.Fault, error) {
+	if m != fault.SingleBit && m != fault.Byte {
+		return nil, fmt.Errorf("dfa: fault identification infeasible under the %s model (candidate space too large)", m)
+	}
+	obs := digestDiff(correct, faulty, digestBits)
+	var out []fault.Fault
+	for _, cs := range signatures(m) {
+		if cs.sig.digestConsistent(&obs, digestBits) {
+			out = append(out, cs.f)
+		}
+	}
+	return out, nil
+}
+
+// IdentifyUnique returns the fault when exactly one candidate
+// survives, and reports how many candidates survived.
+func IdentifyUnique(m fault.Model, correct, faulty []byte, digestBits int) (fault.Fault, int, error) {
+	cands, err := Identify(m, correct, faulty, digestBits)
+	if err != nil {
+		return fault.Fault{}, 0, err
+	}
+	if len(cands) == 1 {
+		return cands[0], 1, nil
+	}
+	return fault.Fault{}, len(cands), nil
+}
+
+// MustDiffMask returns the bits of the digest difference that a given
+// fault forces to 1 and 0 respectively (diagnostic / test helper).
+func MustDiffMask(f fault.Fault, digestBits int) (ones, zeros keccak.State) {
+	t := propagateCandidate(f.Delta())
+	for i := 0; i < digestBits; i++ {
+		if t.unk.Bit(i) {
+			continue
+		}
+		if t.val.Bit(i) {
+			ones.SetBit(i, true)
+		} else {
+			zeros.SetBit(i, true)
+		}
+	}
+	return ones, zeros
+}

@@ -1,0 +1,143 @@
+// Package dfa implements the differential fault analysis baseline the
+// paper compares AFA against (the method of "Differential Fault
+// Analysis of SHA-3 under Relaxed Fault Models", the companion work).
+//
+// DFA works with the same observations as AFA — a correct digest and
+// faulty digests under a relaxed fault model at the θ input of round
+// 22 — but instead of handing the full non-linear system to a SAT
+// solver it:
+//
+//  1. identifies each fault (window + value) by matching the observed
+//     digest difference against three-valued difference propagation of
+//     every candidate fault, and
+//  2. extracts only the GF(2)-*linear* equations relating state bits
+//     to observed difference bits, accumulating them in a linear
+//     system until the whole χ input of round 22 is forced.
+//
+// Step 2 is exactly why DFA needs more faults than AFA and fails on
+// the short-digest modes: every equation whose difference coefficients
+// are value-dependent (quadratic) is thrown away, while AFA keeps it.
+package dfa
+
+import (
+	"math/bits"
+
+	"sha3afa/internal/keccak"
+)
+
+// triState is a three-valued 1600-bit difference: bit i is 0, 1 or
+// unknown. val holds the value where known; unk marks unknown bits
+// (val must be 0 where unk is set).
+type triState struct {
+	val keccak.State
+	unk keccak.State
+}
+
+// fromExact lifts an exact difference.
+func fromExact(d keccak.State) triState { return triState{val: d} }
+
+// theta propagates the difference through θ: values propagate
+// linearly, unknownness spreads through each bit's 11-bit support.
+func (t *triState) theta() {
+	t.val.Theta()
+	var colUnk [5]uint64
+	for x := 0; x < 5; x++ {
+		colUnk[x] = t.unk[x] | t.unk[x+5] | t.unk[x+10] | t.unk[x+15] | t.unk[x+20]
+	}
+	var out keccak.State
+	for x := 0; x < 5; x++ {
+		d := colUnk[(x+4)%5] | bits.RotateLeft64(colUnk[(x+1)%5], 1)
+		for y := 0; y < 5; y++ {
+			out[keccak.LaneIndex(x, y)] = t.unk[keccak.LaneIndex(x, y)] | d
+		}
+	}
+	t.unk = out
+	t.mask()
+}
+
+// rho and pi are wire permutations: both planes permute.
+func (t *triState) rho() { t.val.Rho(); t.unk.Rho() }
+func (t *triState) pi()  { t.val.Pi(); t.unk.Pi() }
+
+// chi propagates the difference through χ. With in-values unknown,
+// output difference bit i is known only when the difference bits at
+// positions i+1 and i+2 of its row are both known-zero, in which case
+// it equals the difference bit at i.
+func (t *triState) chi() {
+	var val, unk keccak.State
+	for y := 0; y < 5; y++ {
+		var v, u [5]uint64
+		for x := 0; x < 5; x++ {
+			v[x] = t.val[keccak.LaneIndex(x, y)]
+			u[x] = t.unk[keccak.LaneIndex(x, y)]
+		}
+		for x := 0; x < 5; x++ {
+			active1 := v[(x+1)%5] | u[(x+1)%5]
+			active2 := v[(x+2)%5] | u[(x+2)%5]
+			outUnk := u[x] | active1 | active2
+			unk[keccak.LaneIndex(x, y)] = outUnk
+			val[keccak.LaneIndex(x, y)] = v[x] &^ outUnk
+		}
+	}
+	t.val, t.unk = val, unk
+	t.mask()
+}
+
+// mask re-establishes the invariant val & unk == 0.
+func (t *triState) mask() {
+	for i := range t.val {
+		t.val[i] &^= t.unk[i]
+	}
+}
+
+// linearLayer applies θ, ρ, π.
+func (t *triState) linearLayer() {
+	t.theta()
+	t.rho()
+	t.pi()
+}
+
+// digestConsistent checks the observed digest difference D (first
+// nBits of correct ⊕ faulty) against the propagated three-valued
+// difference: every known bit must match.
+func (t *triState) digestConsistent(obs *keccak.State, nBits int) bool {
+	for i := 0; i < nBits; i += 64 {
+		lane := i / 64
+		width := nBits - i
+		var m uint64 = ^uint64(0)
+		if width < 64 {
+			m = (uint64(1) << uint(width)) - 1
+		}
+		known := ^t.unk[lane] & m
+		if (t.val[lane]^obs[lane])&known != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// propagateCandidate runs a candidate fault difference (at the θ input
+// of round 22) through the last two rounds in three-valued logic and
+// returns the digest-level difference.
+func propagateCandidate(delta keccak.State) triState {
+	// Exact through L of round 22 (linear on differences).
+	delta.LinearLayer()
+	t := fromExact(delta)
+	// χ of round 22 (ι does not affect differences).
+	t.chi()
+	// Round 23.
+	t.linearLayer()
+	t.chi()
+	return t
+}
+
+// digestDiff builds the observed difference state from two digests.
+func digestDiff(correct, faulty []byte, nBits int) keccak.State {
+	var s keccak.State
+	for i := 0; i < nBits; i++ {
+		if keccak.DigestBitsOf(correct, i) != keccak.DigestBitsOf(faulty, i) {
+			s.SetBit(i, true)
+		}
+	}
+	return s
+}

@@ -1,0 +1,249 @@
+// Package fault defines the relaxed fault models of the paper and a
+// software fault injector standing in for physical injection (clock /
+// voltage glitching in the original evaluation). The analysis consumes
+// only (digest, faulty digest) pairs plus the model's width, so the
+// software injector exercises exactly the same code paths.
+//
+// A fault under model of width w flips an unknown non-zero pattern of
+// w bits inside one unknown w-bit-aligned window of the 1600-bit state,
+// at the θ input of a chosen round (round 22, the penultimate round,
+// in the paper's attack).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sha3afa/internal/keccak"
+)
+
+// Model is a relaxed fault model, identified by its width.
+type Model int
+
+// The paper's four fault models.
+const (
+	SingleBit Model = iota // exactly one bit flips
+	Byte                   // unknown non-zero pattern in one aligned byte
+	Word16                 // ... in one aligned 16-bit window
+	Word32                 // ... in one aligned 32-bit window
+)
+
+// Models lists all supported fault models, narrowest first.
+var Models = []Model{SingleBit, Byte, Word16, Word32}
+
+// Width returns the window width in bits.
+func (m Model) Width() int {
+	switch m {
+	case SingleBit:
+		return 1
+	case Byte:
+		return 8
+	case Word16:
+		return 16
+	case Word32:
+		return 32
+	default:
+		return unalignedWidth(m)
+	}
+}
+
+// Windows returns the number of candidate windows in the state.
+func (m Model) Windows() int {
+	return windowsFor(keccak.StateBits, m.Width(), m.Stride())
+}
+
+// String names the model as the paper does.
+func (m Model) String() string {
+	switch m {
+	case SingleBit:
+		return "1-bit"
+	case Byte:
+		return "byte"
+	case Word16:
+		return "16-bit"
+	case Word32:
+		return "32-bit"
+	case UnalignedByte:
+		return "byte-unaligned"
+	case UnalignedWord16:
+		return "16-bit-unaligned"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Parse maps a model name to a Model.
+func Parse(name string) (Model, error) {
+	switch name {
+	case "1-bit", "bit", "1":
+		return SingleBit, nil
+	case "byte", "8-bit", "8":
+		return Byte, nil
+	case "16-bit", "16":
+		return Word16, nil
+	case "32-bit", "32":
+		return Word32, nil
+	case "byte-unaligned", "8u":
+		return UnalignedByte, nil
+	case "16-bit-unaligned", "16u":
+		return UnalignedWord16, nil
+	default:
+		return 0, fmt.Errorf("fault: unknown model %q", name)
+	}
+}
+
+// Fault is one concrete fault: a window index and the non-zero XOR
+// pattern injected into it.
+type Fault struct {
+	Model  Model
+	Window int
+	Value  uint64 // low Width() bits, non-zero
+}
+
+// BitOffset returns the global bit index of the window start.
+func (f Fault) BitOffset() int { return f.Window * f.Model.Stride() }
+
+// Delta expands the fault into a full 1600-bit state difference.
+func (f Fault) Delta() keccak.State {
+	var d keccak.State
+	w := f.Model.Width()
+	off := f.BitOffset()
+	for i := 0; i < w; i++ {
+		if f.Value>>uint(i)&1 == 1 {
+			d.SetBit(off+i, true)
+		}
+	}
+	return d
+}
+
+// Validate checks window range and value constraints.
+func (f Fault) Validate() error {
+	w := f.Model.Width()
+	if f.Window < 0 || f.Window >= f.Model.Windows() {
+		return fmt.Errorf("fault: window %d out of range [0,%d)", f.Window, f.Model.Windows())
+	}
+	if f.Value == 0 {
+		return fmt.Errorf("fault: zero value is not a fault")
+	}
+	if w < 64 && f.Value>>uint(w) != 0 {
+		return fmt.Errorf("fault: value %#x exceeds width %d", f.Value, w)
+	}
+	if f.Model == SingleBit && f.Value != 1 {
+		return fmt.Errorf("fault: single-bit value must be 1")
+	}
+	return nil
+}
+
+// String formats the fault with its state coordinates.
+func (f Fault) String() string {
+	x, y, z := keccak.BitCoords(f.BitOffset())
+	return fmt.Sprintf("%s fault @bit %d (lane x=%d y=%d, z=%d) value %#x",
+		f.Model, f.BitOffset(), x, y, z, f.Value)
+}
+
+// FaultFromDelta reconstructs the (unique) fault of model m matching a
+// state difference, or an error if the difference does not fit the
+// model (wrong support width or misalignment).
+func FaultFromDelta(m Model, d *keccak.State) (Fault, error) {
+	w := m.Width()
+	first, last := -1, -1
+	for i := 0; i < keccak.StateBits; i++ {
+		if d.Bit(i) {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return Fault{}, fmt.Errorf("fault: zero difference")
+	}
+	var win int
+	if m.Aligned() {
+		win = first / w
+		if last/w != win {
+			return Fault{}, fmt.Errorf("fault: difference spans windows %d and %d", win, last/w)
+		}
+	} else {
+		// Canonical sliding window: start at the first set bit.
+		if last-first+1 > w {
+			return Fault{}, fmt.Errorf("fault: difference span %d exceeds width %d", last-first+1, w)
+		}
+		win = first
+		if max := m.Windows() - 1; win > max {
+			win = max
+		}
+	}
+	start := win * m.Stride()
+	var val uint64
+	for i := 0; i < w; i++ {
+		if d.Bit(start + i) {
+			val |= 1 << uint(i)
+		}
+	}
+	f := Fault{Model: m, Window: win, Value: val}
+	return f, f.Validate()
+}
+
+// Injector samples faults uniformly: window uniform over aligned
+// windows, value uniform over non-zero w-bit patterns.
+type Injector struct {
+	model Model
+	rng   *rand.Rand
+}
+
+// NewInjector returns a deterministic injector for reproducible
+// campaigns.
+func NewInjector(m Model, seed int64) *Injector {
+	return &Injector{model: m, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Model returns the injector's fault model.
+func (in *Injector) Model() Model { return in.model }
+
+// Sample draws one fault.
+func (in *Injector) Sample() Fault {
+	w := in.model.Width()
+	var val uint64
+	for val == 0 {
+		if w == 64 {
+			val = in.rng.Uint64()
+		} else {
+			val = uint64(in.rng.Int63n(1 << uint(w)))
+		}
+	}
+	if in.model == SingleBit {
+		val = 1
+	}
+	return Fault{
+		Model:  in.model,
+		Window: in.rng.Intn(in.model.Windows()),
+		Value:  val,
+	}
+}
+
+// Injection couples a sampled fault with the faulty digest it produced.
+type Injection struct {
+	Fault        Fault
+	FaultyDigest []byte
+}
+
+// Campaign hashes msg under mode, injecting n independent faults at
+// the θ input of the given round, and returns the injections together
+// with the correct digest. Faults that happen to leave the digest
+// unchanged are kept — the attacker cannot filter what it cannot see,
+// and a "silent" fault still contributes constraints.
+func Campaign(mode keccak.Mode, msg []byte, m Model, round, n int, seed int64) (correct []byte, injs []Injection) {
+	correct = keccak.Sum(mode, msg)
+	inj := NewInjector(m, seed)
+	injs = make([]Injection, n)
+	for i := range injs {
+		flt := inj.Sample()
+		delta := flt.Delta()
+		injs[i] = Injection{
+			Fault:        flt,
+			FaultyDigest: keccak.HashWithFault(mode, msg, round, &delta),
+		}
+	}
+	return correct, injs
+}

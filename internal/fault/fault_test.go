@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"sha3afa/internal/keccak"
+)
+
+func TestModelWidths(t *testing.T) {
+	want := map[Model]int{SingleBit: 1, Byte: 8, Word16: 16, Word32: 32}
+	for m, w := range want {
+		if m.Width() != w {
+			t.Errorf("%s width = %d, want %d", m, m.Width(), w)
+		}
+		if m.Windows()*m.Width() != keccak.StateBits {
+			t.Errorf("%s windows don't tile the state", m)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range Models {
+		got, err := Parse(m.String())
+		if err != nil || got != m {
+			t.Errorf("Parse(%s) = %v, %v", m, got, err)
+		}
+	}
+	if _, err := Parse("nonsense"); err == nil {
+		t.Error("Parse accepted nonsense")
+	}
+}
+
+func TestDeltaPlacement(t *testing.T) {
+	f := Fault{Model: Byte, Window: 3, Value: 0b10100001}
+	d := f.Delta()
+	for i := 0; i < keccak.StateBits; i++ {
+		want := i == 24 || i == 29 || i == 31
+		if d.Bit(i) != want {
+			t.Fatalf("delta bit %d = %v", i, d.Bit(i))
+		}
+	}
+	if f.BitOffset() != 24 {
+		t.Fatalf("BitOffset = %d", f.BitOffset())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		f  Fault
+		ok bool
+	}{
+		{Fault{SingleBit, 0, 1}, true},
+		{Fault{SingleBit, 1599, 1}, true},
+		{Fault{SingleBit, 1600, 1}, false}, // window out of range
+		{Fault{SingleBit, 0, 2}, false},    // single-bit value must be 1
+		{Fault{Byte, 0, 0}, false},         // zero value
+		{Fault{Byte, 0, 0x100}, false},     // exceeds width
+		{Fault{Byte, 199, 0xFF}, true},
+		{Fault{Word16, 99, 0xFFFF}, true},
+		{Fault{Word32, 49, 0xFFFFFFFF}, true},
+		{Fault{Word32, 50, 1}, false},
+	}
+	for i, c := range cases {
+		if err := c.f.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d (%+v): Validate = %v", i, c.f, err)
+		}
+	}
+}
+
+func TestFaultFromDelta(t *testing.T) {
+	orig := Fault{Model: Word16, Window: 42, Value: 0x8001}
+	d := orig.Delta()
+	got, err := FaultFromDelta(Word16, &d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("round trip %+v -> %+v", orig, got)
+	}
+	// A delta spanning two byte windows is not a byte fault.
+	var span keccak.State
+	span.SetBit(7, true)
+	span.SetBit(8, true)
+	if _, err := FaultFromDelta(Byte, &span); err == nil {
+		t.Fatal("cross-window delta accepted")
+	}
+	// But it is a valid 16-bit fault.
+	if f, err := FaultFromDelta(Word16, &span); err != nil || f.Window != 0 || f.Value != 0x180 {
+		t.Fatalf("16-bit reconstruction wrong: %+v %v", f, err)
+	}
+	var zero keccak.State
+	if _, err := FaultFromDelta(Byte, &zero); err == nil {
+		t.Fatal("zero delta accepted")
+	}
+}
+
+func TestInjectorDistribution(t *testing.T) {
+	inj := NewInjector(Byte, 1)
+	seenWindows := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		f := inj.Sample()
+		if err := f.Validate(); err != nil {
+			t.Fatalf("sampled invalid fault: %v", err)
+		}
+		seenWindows[f.Window] = true
+	}
+	// All 200 byte windows should appear in 5000 draws.
+	if len(seenWindows) != Byte.Windows() {
+		t.Fatalf("only %d/%d windows sampled", len(seenWindows), Byte.Windows())
+	}
+}
+
+func TestInjectorSingleBit(t *testing.T) {
+	inj := NewInjector(SingleBit, 2)
+	for i := 0; i < 100; i++ {
+		f := inj.Sample()
+		if f.Value != 1 {
+			t.Fatal("single-bit fault with value != 1")
+		}
+		if d := f.Delta(); d.ToVec().PopCount() != 1 {
+			t.Fatal("single-bit delta flips several bits")
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	a, b := NewInjector(Word32, 7), NewInjector(Word32, 7)
+	for i := 0; i < 50; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed produced different faults")
+		}
+	}
+}
+
+func TestCampaign(t *testing.T) {
+	msg := []byte("campaign message")
+	correct, injs := Campaign(keccak.SHA3_256, msg, Byte, 22, 8, 99)
+	if !bytes.Equal(correct, keccak.Sum(keccak.SHA3_256, msg)) {
+		t.Fatal("campaign correct digest wrong")
+	}
+	if len(injs) != 8 {
+		t.Fatalf("campaign produced %d injections", len(injs))
+	}
+	for i, in := range injs {
+		// Re-derive the faulty digest independently.
+		d := in.Fault.Delta()
+		want := keccak.HashWithFault(keccak.SHA3_256, msg, 22, &d)
+		if !bytes.Equal(in.FaultyDigest, want) {
+			t.Fatalf("injection %d digest mismatch", i)
+		}
+	}
+	// Reproducibility.
+	_, injs2 := Campaign(keccak.SHA3_256, msg, Byte, 22, 8, 99)
+	for i := range injs {
+		if injs[i].Fault != injs2[i].Fault {
+			t.Fatal("campaign not reproducible")
+		}
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	f := Fault{Model: Byte, Window: 8, Value: 0xFF} // bit 64 = lane (1,0)
+	s := f.String()
+	if s == "" || f.Model.String() != "byte" {
+		t.Fatal("fault formatting broken")
+	}
+}

@@ -1,0 +1,69 @@
+package fault
+
+// The journal extension of the paper relaxes the fault models further:
+// the faulted window need not be aligned to its width. This file adds
+// sliding-window (stride-1) variants. An unaligned w-bit fault flips
+// an unknown non-zero pattern inside SOME w consecutive state bits —
+// 1593 candidate windows for a byte instead of 200, which enlarges
+// both the attacker's uncertainty and the CNF search space.
+
+// Unaligned relaxed fault models (sliding windows, stride 1).
+const (
+	UnalignedByte Model = iota + 100
+	UnalignedWord16
+)
+
+// UnalignedModels lists the sliding-window variants.
+var UnalignedModels = []Model{UnalignedByte, UnalignedWord16}
+
+// Aligned reports whether the model's windows are width-aligned.
+func (m Model) Aligned() bool { return m < 100 }
+
+// Stride returns the distance between consecutive candidate windows.
+func (m Model) Stride() int {
+	if m.Aligned() {
+		return m.Width()
+	}
+	return 1
+}
+
+// unalignedWidth maps the sliding models onto widths; the aligned
+// cases are handled in Width directly.
+func unalignedWidth(m Model) int {
+	switch m {
+	case UnalignedByte:
+		return 8
+	case UnalignedWord16:
+		return 16
+	default:
+		panic("fault: unknown unaligned model")
+	}
+}
+
+// WindowsFor returns candidate-window counts for any stride.
+func windowsFor(stateBits, width, stride int) int {
+	return (stateBits-width)/stride + 1
+}
+
+// WindowCover returns the candidate windows that cover state bit j —
+// a single window for aligned models, up to Width() windows for
+// sliding ones. Used by the CNF encoding of the fault constraint.
+func (m Model) WindowCover(j int) []int {
+	w := m.Width()
+	if m.Aligned() {
+		return []int{j / w}
+	}
+	lo := j - w + 1
+	if lo < 0 {
+		lo = 0
+	}
+	hi := j
+	if max := m.Windows() - 1; hi > max {
+		hi = max
+	}
+	out := make([]int, 0, hi-lo+1)
+	for p := lo; p <= hi; p++ {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"testing"
+
+	"sha3afa/internal/keccak"
+)
+
+func TestUnalignedModelGeometry(t *testing.T) {
+	if UnalignedByte.Width() != 8 || UnalignedByte.Stride() != 1 {
+		t.Fatal("UnalignedByte geometry wrong")
+	}
+	if UnalignedByte.Windows() != keccak.StateBits-8+1 {
+		t.Fatalf("UnalignedByte windows = %d", UnalignedByte.Windows())
+	}
+	if UnalignedWord16.Windows() != keccak.StateBits-16+1 {
+		t.Fatalf("UnalignedWord16 windows = %d", UnalignedWord16.Windows())
+	}
+	if !Byte.Aligned() || UnalignedByte.Aligned() {
+		t.Fatal("Aligned() misclassifies")
+	}
+}
+
+func TestUnalignedParseAndString(t *testing.T) {
+	for _, m := range UnalignedModels {
+		got, err := Parse(m.String())
+		if err != nil || got != m {
+			t.Errorf("Parse(%s) = %v, %v", m, got, err)
+		}
+	}
+}
+
+func TestWindowCoverAligned(t *testing.T) {
+	for _, j := range []int{0, 7, 8, 1599} {
+		cover := Byte.WindowCover(j)
+		if len(cover) != 1 || cover[0] != j/8 {
+			t.Fatalf("aligned cover of bit %d = %v", j, cover)
+		}
+	}
+}
+
+func TestWindowCoverUnaligned(t *testing.T) {
+	// Interior bit: covered by 8 sliding windows.
+	cover := UnalignedByte.WindowCover(100)
+	if len(cover) != 8 || cover[0] != 93 || cover[7] != 100 {
+		t.Fatalf("cover of bit 100 = %v", cover)
+	}
+	// First bit: only window 0.
+	if c := UnalignedByte.WindowCover(0); len(c) != 1 || c[0] != 0 {
+		t.Fatalf("cover of bit 0 = %v", c)
+	}
+	// Last bit: clamped to the final window.
+	c := UnalignedByte.WindowCover(1599)
+	if c[len(c)-1] != UnalignedByte.Windows()-1 {
+		t.Fatalf("cover of bit 1599 = %v", c)
+	}
+	// Every window in a cover actually covers the bit.
+	for _, j := range []int{0, 3, 100, 1595, 1599} {
+		for _, p := range UnalignedByte.WindowCover(j) {
+			if j < p || j >= p+8 {
+				t.Fatalf("window %d does not cover bit %d", p, j)
+			}
+		}
+	}
+}
+
+func TestUnalignedDeltaPlacement(t *testing.T) {
+	f := Fault{Model: UnalignedByte, Window: 13, Value: 0b10000001}
+	d := f.Delta()
+	if !d.Bit(13) || !d.Bit(20) || d.ToVec().PopCount() != 2 {
+		t.Fatalf("unaligned delta wrong: %v", d.ToVec().Support())
+	}
+}
+
+func TestUnalignedFaultFromDeltaCanonical(t *testing.T) {
+	// A delta spanning bits 13..20 reconstructs with window = 13.
+	var d keccak.State
+	d.SetBit(13, true)
+	d.SetBit(20, true)
+	f, err := FaultFromDelta(UnalignedByte, &d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Window != 13 || f.Value != 0b10000001 {
+		t.Fatalf("canonical fault = %+v", f)
+	}
+	back := f.Delta()
+	if !back.Equal(&d) {
+		t.Fatal("canonical fault delta mismatch")
+	}
+	// Span 9 is rejected.
+	d.SetBit(21, true)
+	d.SetBit(13, false)
+	d.SetBit(12, true)
+	if _, err := FaultFromDelta(UnalignedByte, &d); err == nil {
+		t.Fatal("9-bit span accepted as unaligned byte fault")
+	}
+}
+
+func TestUnalignedFaultFromDeltaEndOfState(t *testing.T) {
+	// Delta in the last byte: first-set-bit window would exceed the
+	// window count and must be clamped.
+	var d keccak.State
+	d.SetBit(1599, true)
+	f, err := FaultFromDelta(UnalignedByte, &d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := f.Delta()
+	if !back.Equal(&d) {
+		t.Fatalf("end-of-state reconstruction wrong: %+v", f)
+	}
+}
+
+func TestUnalignedInjectorValid(t *testing.T) {
+	inj := NewInjector(UnalignedWord16, 3)
+	for i := 0; i < 500; i++ {
+		f := inj.Sample()
+		if err := f.Validate(); err != nil {
+			t.Fatalf("sampled invalid unaligned fault: %v", err)
+		}
+		d := f.Delta()
+		sup := d.ToVec().Support()
+		if len(sup) == 0 || sup[len(sup)-1]-sup[0] >= 16 {
+			t.Fatalf("unaligned 16-bit fault span too wide: %v", sup)
+		}
+	}
+}
+
+func TestUnalignedCampaignRoundTrip(t *testing.T) {
+	msg := []byte("unaligned campaign")
+	correct, injs := Campaign(keccak.SHA3_256, msg, UnalignedByte, 22, 5, 77)
+	if len(correct) == 0 || len(injs) != 5 {
+		t.Fatal("campaign shape wrong")
+	}
+	for _, inj := range injs {
+		d := inj.Fault.Delta()
+		want := keccak.HashWithFault(keccak.SHA3_256, msg, 22, &d)
+		if string(want) != string(inj.FaultyDigest) {
+			t.Fatal("unaligned campaign digest mismatch")
+		}
+	}
+}

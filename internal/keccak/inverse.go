@@ -1,0 +1,170 @@
+package keccak
+
+import (
+	"math/bits"
+	"sync"
+
+	"sha3afa/internal/bitmat"
+)
+
+// chiRowTable and invChiRowTable hold the 5-bit χ row S-box and its
+// inverse. χ restricted to one row of five bits is a bijection (the
+// row length is odd), so inversion is a 32-entry lookup.
+var chiRowTable, invChiRowTable [32]uint8
+
+func init() {
+	for in := 0; in < 32; in++ {
+		out := 0
+		for x := 0; x < 5; x++ {
+			b := in >> x & 1
+			b1 := in >> ((x + 1) % 5) & 1
+			b2 := in >> ((x + 2) % 5) & 1
+			out |= (b ^ (^b1 & 1 & b2)) << x
+		}
+		chiRowTable[in] = uint8(out)
+		invChiRowTable[out] = uint8(in)
+	}
+}
+
+// InvChi applies χ⁻¹. The inverse has algebraic degree 3 (versus χ's
+// degree 2) — the asymmetry the paper's algebraic analysis leans on.
+func (s *State) InvChi() {
+	for y := 0; y < 5; y++ {
+		var row [5]uint64
+		for x := 0; x < 5; x++ {
+			row[x] = s[LaneIndex(x, y)]
+		}
+		var out [5]uint64
+		for z := 0; z < LaneBits; z++ {
+			v := 0
+			for x := 0; x < 5; x++ {
+				v |= int(row[x]>>uint(z)&1) << x
+			}
+			inv := invChiRowTable[v]
+			for x := 0; x < 5; x++ {
+				out[x] |= uint64(inv>>x&1) << uint(z)
+			}
+		}
+		for x := 0; x < 5; x++ {
+			s[LaneIndex(x, y)] = out[x]
+		}
+	}
+}
+
+// InvRho undoes the per-lane rotations.
+func (s *State) InvRho() {
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			i := LaneIndex(x, y)
+			s[i] = bits.RotateLeft64(s[i], -RhoOffsets[x][y])
+		}
+	}
+}
+
+// InvPi undoes the lane transposition.
+func (s *State) InvPi() {
+	var t State
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			t[LaneIndex((x+3*y)%5, x)] = s[LaneIndex(x, y)]
+		}
+	}
+	*s = t
+}
+
+// InvIota is self-inverse (XOR with the same constant).
+func (s *State) InvIota(r int) { s.Iota(r) }
+
+var (
+	invThetaOnce sync.Once
+	invThetaMat  *bitmat.Mat
+)
+
+// invTheta returns the cached 1600×1600 inverse of the θ matrix. θ is
+// invertible on Keccak-f[1600]; we build its matrix by probing unit
+// vectors and invert it once with GF(2) Gaussian elimination.
+func invTheta() *bitmat.Mat {
+	invThetaOnce.Do(func() {
+		m := bitmat.NewMat(StateBits, StateBits)
+		for j := 0; j < StateBits; j++ {
+			var probe State
+			probe.SetBit(j, true)
+			probe.Theta()
+			for i := 0; i < StateBits; i++ {
+				if probe.Bit(i) {
+					m.Set(i, j, true)
+				}
+			}
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			panic("keccak: θ matrix is singular — implementation bug: " + err.Error())
+		}
+		invThetaMat = inv
+	})
+	return invThetaMat
+}
+
+// ToVec copies the state into a 1600-bit vector (global bit order).
+func (s *State) ToVec() *bitmat.Vec {
+	v := bitmat.NewVec(StateBits)
+	for l, lane := range s {
+		for lane != 0 {
+			z := bits.TrailingZeros64(lane)
+			v.Set(l*LaneBits+z, true)
+			lane &= lane - 1
+		}
+	}
+	return v
+}
+
+// FromVec loads the state from a 1600-bit vector.
+func FromVec(v *bitmat.Vec) State {
+	if v.Len() != StateBits {
+		panic("keccak: FromVec needs a 1600-bit vector")
+	}
+	var s State
+	for i := v.FirstSet(); i >= 0; i = v.NextSet(i + 1) {
+		s.SetBit(i, true)
+	}
+	return s
+}
+
+// InvTheta applies θ⁻¹ via the cached inverse matrix.
+func (s *State) InvTheta() {
+	*s = FromVec(invTheta().MulVec(s.ToVec()))
+}
+
+// InvLinearLayer applies L⁻¹ = θ⁻¹ ∘ ρ⁻¹ ∘ π⁻¹.
+func (s *State) InvLinearLayer() {
+	s.InvPi()
+	s.InvRho()
+	s.InvTheta()
+}
+
+// InvRound undoes round r.
+func (s *State) InvRound(r int) {
+	s.InvIota(r)
+	s.InvChi()
+	s.InvLinearLayer()
+}
+
+// InvPermute applies the full inverse permutation Keccak-f⁻¹[1600].
+// The attack uses it to walk a recovered χ-input state of round 22
+// back to the sponge input and hence to the message block.
+func (s *State) InvPermute() {
+	for r := NumRounds - 1; r >= 0; r-- {
+		s.InvRound(r)
+	}
+}
+
+// InvPermuteRounds undoes rounds from..to-1 (half-open), i.e. it maps
+// the θ input of round `to` back to the θ input of round `from`.
+func (s *State) InvPermuteRounds(from, to int) {
+	if from < 0 || to > NumRounds || from > to {
+		panic("keccak: invalid round range")
+	}
+	for r := to - 1; r >= from; r-- {
+		s.InvRound(r)
+	}
+}

@@ -1,0 +1,455 @@
+package keccak
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+// FIPS 202 known-answer vectors.
+var katEmpty = map[Mode]string{
+	SHA3_224: "6b4e03423667dbb73b6e15454f0eb1abd4597f9a1b078e3f5b5a6bc7",
+	SHA3_256: "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a",
+	SHA3_384: "0c63a75b845e4f7d01107d852e4c2485c51a50aaaa94fc61995e71bbee983a2ac3713831264adb47fb6bd1e058d5f004",
+	SHA3_512: "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a615b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26",
+}
+
+var katABC = map[Mode]string{
+	SHA3_224: "e642824c3f8cf24ad09234ee7d3c766fc9a3a5168d0c94ad73b46fdf",
+	SHA3_256: "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532",
+	SHA3_384: "ec01498288516fc926459f58e2c6ad8df9b473cb0fc08c2596da7cf0e49be4b298d88cea927ac7f539f1edf228376d25",
+	SHA3_512: "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0",
+}
+
+func TestSHA3KnownAnswers(t *testing.T) {
+	for m, want := range katEmpty {
+		if got := hex.EncodeToString(Sum(m, nil)); got != want {
+			t.Errorf("%s(\"\") = %s, want %s", m, got, want)
+		}
+	}
+	for m, want := range katABC {
+		if got := hex.EncodeToString(Sum(m, []byte("abc"))); got != want {
+			t.Errorf("%s(\"abc\") = %s, want %s", m, got, want)
+		}
+	}
+}
+
+func TestSHAKEKnownAnswers(t *testing.T) {
+	want128 := "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26"
+	if got := hex.EncodeToString(ShakeSum(SHAKE128, nil, 32)); got != want128 {
+		t.Errorf("SHAKE128(\"\") = %s, want %s", got, want128)
+	}
+	want256 := "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f" +
+		"d75dc4ddd8c0f200cb05019d67b592f6fc821c49479ab48640292eacb3b7c4be"
+	if got := hex.EncodeToString(ShakeSum(SHAKE256, nil, 64)); got != want256 {
+		t.Errorf("SHAKE256(\"\") = %s, want %s", got, want256)
+	}
+}
+
+func TestPermuteZeroStateVector(t *testing.T) {
+	// First lane of Keccak-f[1600] applied to the all-zero state.
+	var s State
+	s.Permute()
+	if s[0] != 0xF1258F7940E1DDE7 {
+		t.Fatalf("Keccak-f(0) lane 0 = %016x, want f1258f7940e1dde7", s[0])
+	}
+}
+
+func randState(rng *rand.Rand) State {
+	var s State
+	for i := range s {
+		s[i] = rng.Uint64()
+	}
+	return s
+}
+
+func TestStepInverses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		orig := randState(rng)
+
+		s := orig
+		s.Theta()
+		s.InvTheta()
+		if !s.Equal(&orig) {
+			t.Fatal("θ⁻¹∘θ != id")
+		}
+
+		s = orig
+		s.Rho()
+		s.InvRho()
+		if !s.Equal(&orig) {
+			t.Fatal("ρ⁻¹∘ρ != id")
+		}
+
+		s = orig
+		s.Pi()
+		s.InvPi()
+		if !s.Equal(&orig) {
+			t.Fatal("π⁻¹∘π != id")
+		}
+
+		s = orig
+		s.Chi()
+		s.InvChi()
+		if !s.Equal(&orig) {
+			t.Fatal("χ⁻¹∘χ != id")
+		}
+
+		s = orig
+		s.Iota(5)
+		s.InvIota(5)
+		if !s.Equal(&orig) {
+			t.Fatal("ι⁻¹∘ι != id")
+		}
+	}
+}
+
+func TestPermuteInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		orig := randState(rng)
+		s := orig
+		s.Permute()
+		s.InvPermute()
+		if !s.Equal(&orig) {
+			t.Fatal("InvPermute does not invert Permute")
+		}
+	}
+}
+
+func TestPermuteRoundsComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := randState(rng)
+	a := orig
+	a.Permute()
+	b := orig
+	b.PermuteRounds(0, 22)
+	b.PermuteRounds(22, 24)
+	if !a.Equal(&b) {
+		t.Fatal("PermuteRounds(0,22)+(22,24) != Permute")
+	}
+	c := orig
+	c.PermuteRounds(0, 24)
+	c.InvPermuteRounds(22, 24)
+	d := orig
+	d.PermuteRounds(0, 22)
+	if !c.Equal(&d) {
+		t.Fatal("InvPermuteRounds does not undo the last two rounds")
+	}
+}
+
+func TestBitIndexingRoundTrip(t *testing.T) {
+	for i := 0; i < StateBits; i++ {
+		x, y, z := BitCoords(i)
+		if BitIndex(x, y, z) != i {
+			t.Fatalf("BitIndex(BitCoords(%d)) = %d", i, BitIndex(x, y, z))
+		}
+		var s State
+		s.SetBit(i, true)
+		if !s.Bit(i) || s.ToVec().PopCount() != 1 || !s.ToVec().Get(i) {
+			t.Fatalf("bit %d set/get inconsistent", i)
+		}
+		s.FlipBit(i)
+		if !s.IsZero() {
+			t.Fatalf("FlipBit(%d) did not clear", i)
+		}
+	}
+}
+
+func TestStateBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randState(rng)
+	var s2 State
+	s2.SetBytes(s.Bytes())
+	if !s.Equal(&s2) {
+		t.Fatal("SetBytes(Bytes()) != id")
+	}
+	// Byte order: bit i of the state is bit i%8 of byte i/8.
+	for _, i := range []int{0, 7, 8, 63, 64, 1599} {
+		var u State
+		u.SetBit(i, true)
+		b := u.Bytes()
+		if b[i/8] != 1<<(uint(i)%8) {
+			t.Fatalf("bit %d lands in wrong byte position", i)
+		}
+	}
+}
+
+func TestToVecFromVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randState(rng)
+	if got := FromVec(s.ToVec()); !got.Equal(&s) {
+		t.Fatal("FromVec(ToVec()) != id")
+	}
+}
+
+func TestHasherStreamingMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	msg := make([]byte, 1000)
+	rng.Read(msg)
+	for _, m := range FixedModes {
+		h := New(m)
+		// Write in ragged chunks.
+		for off := 0; off < len(msg); {
+			n := 1 + rng.Intn(97)
+			if off+n > len(msg) {
+				n = len(msg) - off
+			}
+			h.Write(msg[off : off+n])
+			off += n
+		}
+		if !bytes.Equal(h.Sum(nil), Sum(m, msg)) {
+			t.Errorf("%s: streaming digest differs from one-shot", m)
+		}
+		// Sum must not disturb state: calling twice gives same answer.
+		if !bytes.Equal(h.Sum(nil), h.Sum(nil)) {
+			t.Errorf("%s: Sum is not idempotent", m)
+		}
+		h.Reset()
+		h.Write([]byte("abc"))
+		if !bytes.Equal(h.Sum(nil), Sum(m, []byte("abc"))) {
+			t.Errorf("%s: Reset did not restore initial state", m)
+		}
+	}
+}
+
+func TestHasherInterfaceSizes(t *testing.T) {
+	for _, m := range FixedModes {
+		h := New(m)
+		if h.Size() != m.DigestBits()/8 {
+			t.Errorf("%s: Size() = %d", m, h.Size())
+		}
+		if h.BlockSize() != m.RateBytes() {
+			t.Errorf("%s: BlockSize() = %d", m, h.BlockSize())
+		}
+		if h.Mode() != m {
+			t.Errorf("%s: Mode() mismatch", m)
+		}
+	}
+}
+
+func TestModeMetadata(t *testing.T) {
+	for _, m := range append(append([]Mode{}, FixedModes...), SHAKE128, SHAKE256) {
+		if m.RateBits()+m.CapacityBits() != StateBits {
+			t.Errorf("%s: rate+capacity != 1600", m)
+		}
+		if m.RateBits()%8 != 0 {
+			t.Errorf("%s: rate not byte aligned", m)
+		}
+		if m.DigestBits() > m.RateBits() {
+			t.Errorf("%s: digest does not fit one squeeze", m)
+		}
+	}
+	if SHA3_256.DomainByte() != 0x06 || SHAKE128.DomainByte() != 0x1F {
+		t.Error("wrong domain separation bytes")
+	}
+	if !SHAKE128.IsXOF() || SHA3_512.IsXOF() {
+		t.Error("IsXOF misclassifies")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, m := range []Mode{SHA3_224, SHA3_256, SHA3_384, SHA3_512, SHAKE128, SHAKE256} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%s) = %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseMode("MD5"); err == nil {
+		t.Error("ParseMode accepted garbage")
+	}
+}
+
+func TestShakeSqueezeAcrossRateBoundary(t *testing.T) {
+	// Squeezing byte-by-byte must match one big squeeze, across the
+	// permutation boundary.
+	msg := []byte("squeeze boundary")
+	n := SHAKE128.RateBytes() + 40
+	big := ShakeSum(SHAKE128, msg, n)
+	sp := NewSponge(SHAKE128.RateBytes(), SHAKE128.DomainByte())
+	sp.Absorb(msg)
+	var small []byte
+	for len(small) < n {
+		small = append(small, sp.Squeeze(1)...)
+	}
+	if !bytes.Equal(big, small) {
+		t.Fatal("incremental squeeze differs from bulk squeeze")
+	}
+}
+
+func TestSpongeAbsorbAfterSqueezePanics(t *testing.T) {
+	sp := NewSponge(136, 0x06)
+	sp.Absorb([]byte("x"))
+	sp.Squeeze(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Absorb after Squeeze")
+		}
+	}()
+	sp.Absorb([]byte("y"))
+}
+
+func TestPadBlockStructure(t *testing.T) {
+	rate := 136
+	// Empty tail: 0x06 then zeros then 0x80.
+	b := PadBlock(nil, rate, 0x06)
+	if b[0] != 0x06 || b[rate-1] != 0x80 {
+		t.Fatal("empty-tail padding wrong")
+	}
+	for i := 1; i < rate-1; i++ {
+		if b[i] != 0 {
+			t.Fatal("padding interior not zero")
+		}
+	}
+	// Tail of rate-1 bytes: ds byte and final bit share the last byte.
+	tail := bytes.Repeat([]byte{0xAA}, rate-1)
+	b = PadBlock(tail, rate, 0x06)
+	if b[rate-1] != 0x06^0x80 {
+		t.Fatalf("merged pad byte = %02x, want %02x", b[rate-1], 0x06^0x80)
+	}
+}
+
+func TestTraceHashConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range FixedModes {
+		msg := make([]byte, 1+rng.Intn(m.RateBytes()-1))
+		rng.Read(msg)
+		tr := TraceHash(m, msg)
+		if !bytes.Equal(tr.Digest, Sum(m, msg)) {
+			t.Fatalf("%s: trace digest mismatch", m)
+		}
+		// Rounds[0] is the permutation input; Rounds[24] its output.
+		if !tr.Rounds[0].Equal(&tr.PermInput) {
+			t.Fatalf("%s: Rounds[0] != PermInput", m)
+		}
+		out := tr.PermInput
+		out.Permute()
+		if !tr.Rounds[NumRounds].Equal(&out) {
+			t.Fatalf("%s: Rounds[24] != Permute(PermInput)", m)
+		}
+		// ChiInput(r) then χ, ι must give Rounds[r+1].
+		for _, r := range []int{0, 10, 22, 23} {
+			ci := tr.ChiInput(r)
+			ci.Chi()
+			ci.Iota(r)
+			if !ci.Equal(&tr.Rounds[r+1]) {
+				t.Fatalf("%s: ChiInput(%d) inconsistent", m, r)
+			}
+		}
+	}
+}
+
+func TestTraceHashMultiBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := SHA3_256
+	msg := make([]byte, 3*m.RateBytes()+17) // four blocks after padding
+	rng.Read(msg)
+	tr := TraceHash(m, msg)
+	if !bytes.Equal(tr.Digest, Sum(m, msg)) {
+		t.Fatal("multi-block trace digest mismatch")
+	}
+}
+
+func TestHashWithFault(t *testing.T) {
+	msg := []byte("fault target message")
+	m := SHA3_256
+	// Zero fault: digest unchanged.
+	var zero State
+	if !bytes.Equal(HashWithFault(m, msg, 22, &zero), Sum(m, msg)) {
+		t.Fatal("zero fault changed the digest")
+	}
+	// Single-bit fault at round 22 changes the digest.
+	var delta State
+	delta.SetBit(777, true)
+	faulty := HashWithFault(m, msg, 22, &delta)
+	if bytes.Equal(faulty, Sum(m, msg)) {
+		t.Fatal("fault did not change the digest")
+	}
+	// Injecting at the θ input of round 22 must agree with manual
+	// reconstruction via the trace.
+	tr := TraceHash(m, msg)
+	s := tr.Rounds[22]
+	s.Xor(&delta)
+	s.PermuteRounds(22, 24)
+	if !bytes.Equal(faulty, s.ExtractBytes(m.DigestBits()/8)) {
+		t.Fatal("HashWithFault disagrees with trace reconstruction")
+	}
+}
+
+func TestRecoverPermInputAndVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, m := range FixedModes {
+		msg := make([]byte, 1+rng.Intn(m.RateBytes()-1))
+		rng.Read(msg)
+		tr := TraceHash(m, msg)
+		chi22 := tr.ChiInput(22)
+		got := RecoverPermInput(chi22, 22)
+		if !got.Equal(&tr.PermInput) {
+			t.Fatalf("%s: RecoverPermInput failed", m)
+		}
+		if !VerifyRecovery(m, msg, chi22, 22) {
+			t.Fatalf("%s: VerifyRecovery rejected the true state", m)
+		}
+		// A wrong state must not verify.
+		bad := chi22
+		bad.FlipBit(3)
+		if VerifyRecovery(m, msg, bad, 22) {
+			t.Fatalf("%s: VerifyRecovery accepted a wrong state", m)
+		}
+	}
+}
+
+func TestDigestBitsOf(t *testing.T) {
+	d := []byte{0b00000001, 0b10000000}
+	if !DigestBitsOf(d, 0) || DigestBitsOf(d, 1) || !DigestBitsOf(d, 15) {
+		t.Fatal("DigestBitsOf bit order wrong")
+	}
+}
+
+func TestChiRowTablesAreInverse(t *testing.T) {
+	seen := map[uint8]bool{}
+	for in := 0; in < 32; in++ {
+		out := chiRowTable[in]
+		if invChiRowTable[out] != uint8(in) {
+			t.Fatalf("inv(χ(%d)) = %d", in, invChiRowTable[out])
+		}
+		if seen[out] {
+			t.Fatalf("χ row map not a bijection at %d", in)
+		}
+		seen[out] = true
+	}
+}
+
+func TestThetaParityProperty(t *testing.T) {
+	// After θ, every column parity equals the old parity of columns
+	// x-1 and x+1 combined... simpler invariant: θ is linear.
+	rng := rand.New(rand.NewSource(10))
+	a, b := randState(rng), randState(rng)
+	sum := a
+	sum.Xor(&b)
+	sum.Theta()
+	a.Theta()
+	b.Theta()
+	a.Xor(&b)
+	if !sum.Equal(&a) {
+		t.Fatal("θ is not linear")
+	}
+}
+
+func BenchmarkPermute(b *testing.B) {
+	var s State
+	b.SetBytes(StateBytes)
+	for i := 0; i < b.N; i++ {
+		s.Permute()
+	}
+}
+
+func BenchmarkSHA3_256_1KiB(b *testing.B) {
+	msg := make([]byte, 1024)
+	b.SetBytes(int64(len(msg)))
+	for i := 0; i < b.N; i++ {
+		Sum(SHA3_256, msg)
+	}
+}

@@ -1,0 +1,144 @@
+package keccak
+
+import "math/bits"
+
+// RoundConstants are the ι constants RC[0..23] of Keccak-f[1600].
+var RoundConstants = [NumRounds]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// RhoOffsets[x][y] is the ρ rotation of lane (x, y).
+var RhoOffsets = [5][5]int{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+// Theta applies the θ step: each bit is XORed with the parities of two
+// neighbouring columns. θ is linear and is the only step mixing across
+// lanes in the x/y plane.
+func (s *State) Theta() {
+	var c [5]uint64
+	for x := 0; x < 5; x++ {
+		c[x] = s[x] ^ s[x+5] ^ s[x+10] ^ s[x+15] ^ s[x+20]
+	}
+	for x := 0; x < 5; x++ {
+		d := c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+		for y := 0; y < 5; y++ {
+			s[LaneIndex(x, y)] ^= d
+		}
+	}
+}
+
+// Rho applies the ρ step: per-lane rotations.
+func (s *State) Rho() {
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			i := LaneIndex(x, y)
+			s[i] = bits.RotateLeft64(s[i], RhoOffsets[x][y])
+		}
+	}
+}
+
+// Pi applies the π step: lane transposition A'[x][y] = A[x+3y][x].
+func (s *State) Pi() {
+	var t State
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			t[LaneIndex(x, y)] = s[LaneIndex((x+3*y)%5, x)]
+		}
+	}
+	*s = t
+}
+
+// Chi applies the χ step, the only non-linear layer:
+// A'[x][y] = A[x][y] XOR (NOT A[x+1][y] AND A[x+2][y]). Degree 2.
+func (s *State) Chi() {
+	for y := 0; y < 5; y++ {
+		var row [5]uint64
+		for x := 0; x < 5; x++ {
+			row[x] = s[LaneIndex(x, y)]
+		}
+		for x := 0; x < 5; x++ {
+			s[LaneIndex(x, y)] = row[x] ^ (^row[(x+1)%5] & row[(x+2)%5])
+		}
+	}
+}
+
+// Iota XORs the round constant of round r into lane (0,0).
+func (s *State) Iota(r int) {
+	s[0] ^= RoundConstants[r]
+}
+
+// LinearLayer applies L = π ∘ ρ ∘ θ, the linear part of a round.
+func (s *State) LinearLayer() {
+	s.Theta()
+	s.Rho()
+	s.Pi()
+}
+
+// Round applies one full round R = ι ∘ χ ∘ π ∘ ρ ∘ θ with round index r.
+func (s *State) Round(r int) {
+	s.LinearLayer()
+	s.Chi()
+	s.Iota(r)
+}
+
+// Permute applies the full 24-round Keccak-f[1600] permutation.
+func (s *State) Permute() {
+	for r := 0; r < NumRounds; r++ {
+		s.Round(r)
+	}
+}
+
+// PermuteRounds applies rounds from..to-1 (half-open). It allows the
+// attack code to run "the last two rounds" or "everything up to round
+// 22" without reimplementing the schedule.
+func (s *State) PermuteRounds(from, to int) {
+	if from < 0 || to > NumRounds || from > to {
+		panic("keccak: invalid round range")
+	}
+	for r := from; r < to; r++ {
+		s.Round(r)
+	}
+}
+
+// RoundHook receives the state as it stands at the entry of round r
+// (i.e. the θ input). Returning a non-nil delta XORs it into the state
+// before the round executes — this is the fault-injection point used
+// throughout the reproduction.
+type RoundHook func(r int, s *State) *State
+
+// PermuteWithHook runs the full permutation, calling hook at the entry
+// of every round. A nil hook degenerates to Permute.
+func (s *State) PermuteWithHook(hook RoundHook) {
+	for r := 0; r < NumRounds; r++ {
+		if hook != nil {
+			if delta := hook(r, s); delta != nil {
+				s.Xor(delta)
+			}
+		}
+		s.Round(r)
+	}
+}
+
+// Snapshots runs the permutation and returns the state at the entry of
+// every round plus the final state: element r is the θ input of round
+// r for r < 24, element 24 is the permutation output. The receiver is
+// updated to the output.
+func (s *State) Snapshots() [NumRounds + 1]State {
+	var snaps [NumRounds + 1]State
+	for r := 0; r < NumRounds; r++ {
+		snaps[r] = *s
+		s.Round(r)
+	}
+	snaps[NumRounds] = *s
+	return snaps
+}

@@ -1,0 +1,175 @@
+package keccak
+
+import (
+	"fmt"
+	"hash"
+)
+
+// Mode identifies one of the four SHA-3 fixed-output modes (the
+// paper's four attack targets) or one of the two SHAKE XOFs.
+type Mode int
+
+// The supported hashing modes.
+const (
+	SHA3_224 Mode = iota
+	SHA3_256
+	SHA3_384
+	SHA3_512
+	SHAKE128
+	SHAKE256
+)
+
+// String returns the conventional name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case SHA3_224:
+		return "SHA3-224"
+	case SHA3_256:
+		return "SHA3-256"
+	case SHA3_384:
+		return "SHA3-384"
+	case SHA3_512:
+		return "SHA3-512"
+	case SHAKE128:
+		return "SHAKE128"
+	case SHAKE256:
+		return "SHAKE256"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// FixedModes lists the four SHA-3 modes the paper attacks.
+var FixedModes = []Mode{SHA3_224, SHA3_256, SHA3_384, SHA3_512}
+
+// DigestBits returns the digest length in bits (the default output
+// length for the SHAKE modes).
+func (m Mode) DigestBits() int {
+	switch m {
+	case SHA3_224:
+		return 224
+	case SHA3_256, SHAKE128:
+		return 256
+	case SHA3_384:
+		return 384
+	case SHA3_512, SHAKE256:
+		return 512
+	default:
+		panic("keccak: unknown mode")
+	}
+}
+
+// CapacityBits returns the sponge capacity c of the mode.
+func (m Mode) CapacityBits() int {
+	switch m {
+	case SHA3_224:
+		return 448
+	case SHA3_256, SHAKE256:
+		return 512
+	case SHA3_384:
+		return 768
+	case SHA3_512:
+		return 1024
+	case SHAKE128:
+		return 256
+	default:
+		panic("keccak: unknown mode")
+	}
+}
+
+// RateBits returns the sponge rate r = 1600 - c.
+func (m Mode) RateBits() int { return StateBits - m.CapacityBits() }
+
+// RateBytes returns the rate in bytes.
+func (m Mode) RateBytes() int { return m.RateBits() / 8 }
+
+// DomainByte returns the padding domain-separation byte (0x06 for the
+// SHA-3 modes, 0x1F for SHAKE).
+func (m Mode) DomainByte() byte {
+	switch m {
+	case SHAKE128, SHAKE256:
+		return 0x1F
+	default:
+		return 0x06
+	}
+}
+
+// IsXOF reports whether the mode is an extendable-output function.
+func (m Mode) IsXOF() bool { return m == SHAKE128 || m == SHAKE256 }
+
+// ParseMode maps a conventional name to a Mode.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "SHA3-224", "sha3-224", "224":
+		return SHA3_224, nil
+	case "SHA3-256", "sha3-256", "256":
+		return SHA3_256, nil
+	case "SHA3-384", "sha3-384", "384":
+		return SHA3_384, nil
+	case "SHA3-512", "sha3-512", "512":
+		return SHA3_512, nil
+	case "SHAKE128", "shake128":
+		return SHAKE128, nil
+	case "SHAKE256", "shake256":
+		return SHAKE256, nil
+	default:
+		return 0, fmt.Errorf("keccak: unknown mode %q", name)
+	}
+}
+
+// Hasher is a streaming SHA-3/SHAKE hasher implementing hash.Hash.
+type Hasher struct {
+	mode   Mode
+	sponge *Sponge
+}
+
+var _ hash.Hash = (*Hasher)(nil)
+
+// New returns a streaming hasher for the given mode.
+func New(m Mode) *Hasher {
+	return &Hasher{mode: m, sponge: NewSponge(m.RateBytes(), m.DomainByte())}
+}
+
+// Write absorbs p; it never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	h.sponge.Absorb(p)
+	return len(p), nil
+}
+
+// Sum appends the digest of the absorbed data to b without disturbing
+// the hasher state.
+func (h *Hasher) Sum(b []byte) []byte {
+	c := h.sponge.Clone()
+	return append(b, c.Squeeze(h.Size())...)
+}
+
+// Reset restores the initial state.
+func (h *Hasher) Reset() {
+	h.sponge = NewSponge(h.mode.RateBytes(), h.mode.DomainByte())
+}
+
+// Size returns the digest length in bytes.
+func (h *Hasher) Size() int { return h.mode.DigestBits() / 8 }
+
+// BlockSize returns the sponge rate in bytes.
+func (h *Hasher) BlockSize() int { return h.mode.RateBytes() }
+
+// Mode returns the hasher's mode.
+func (h *Hasher) Mode() Mode { return h.mode }
+
+// Sum computes the digest of msg under mode m in one call.
+func Sum(m Mode, msg []byte) []byte {
+	h := New(m)
+	h.Write(msg)
+	return h.Sum(nil)
+}
+
+// ShakeSum computes n bytes of SHAKE output for msg.
+func ShakeSum(m Mode, msg []byte, n int) []byte {
+	if !m.IsXOF() {
+		panic("keccak: ShakeSum requires a SHAKE mode")
+	}
+	sp := NewSponge(m.RateBytes(), m.DomainByte())
+	sp.Absorb(msg)
+	return sp.Squeeze(n)
+}

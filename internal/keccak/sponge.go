@@ -1,0 +1,103 @@
+package keccak
+
+import "fmt"
+
+// Sponge is the Keccak sponge construction over Keccak-f[1600] with a
+// byte-granular rate. It implements multi-rate padding (pad10*1) with a
+// caller-supplied domain-separation suffix, as specified by FIPS 202.
+type Sponge struct {
+	state     State
+	rateBytes int
+	dsByte    byte // domain suffix bits, LSB-first, with the first pad bit appended
+	buf       []byte
+	squeezing bool
+	sqOffset  int
+}
+
+// NewSponge returns a sponge with the given rate (in bytes) and domain
+// separation byte. dsByte packs the suffix bits LSB-first followed by
+// the leading 1 of pad10*1: SHA-3 uses 0x06, SHAKE uses 0x1F, raw
+// Keccak uses 0x01.
+func NewSponge(rateBytes int, dsByte byte) *Sponge {
+	if rateBytes <= 0 || rateBytes >= StateBytes {
+		panic(fmt.Sprintf("keccak: invalid rate %d bytes", rateBytes))
+	}
+	return &Sponge{rateBytes: rateBytes, dsByte: dsByte}
+}
+
+// RateBytes returns the sponge rate in bytes.
+func (sp *Sponge) RateBytes() int { return sp.rateBytes }
+
+// Absorb feeds message bytes into the sponge. It panics if called
+// after squeezing started.
+func (sp *Sponge) Absorb(p []byte) {
+	if sp.squeezing {
+		panic("keccak: Absorb after Squeeze")
+	}
+	sp.buf = append(sp.buf, p...)
+	for len(sp.buf) >= sp.rateBytes {
+		sp.state.XorBytes(sp.buf[:sp.rateBytes])
+		sp.state.Permute()
+		sp.buf = sp.buf[sp.rateBytes:]
+	}
+}
+
+// pad finalizes absorption: domain suffix, pad10*1, final permutation
+// is NOT yet applied — the padded block is XORed and permuted here so
+// the first squeeze reads valid output.
+func (sp *Sponge) pad() {
+	block := make([]byte, sp.rateBytes)
+	copy(block, sp.buf)
+	block[len(sp.buf)] ^= sp.dsByte
+	block[sp.rateBytes-1] ^= 0x80
+	sp.state.XorBytes(block)
+	sp.state.Permute()
+	sp.buf = nil
+	sp.squeezing = true
+	sp.sqOffset = 0
+}
+
+// Squeeze produces n output bytes, permuting as needed.
+func (sp *Sponge) Squeeze(n int) []byte {
+	if !sp.squeezing {
+		sp.pad()
+	}
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		if sp.sqOffset == sp.rateBytes {
+			sp.state.Permute()
+			sp.sqOffset = 0
+		}
+		avail := sp.rateBytes - sp.sqOffset
+		take := n - len(out)
+		if take > avail {
+			take = avail
+		}
+		out = append(out, sp.state.Bytes()[sp.sqOffset:sp.sqOffset+take]...)
+		sp.sqOffset += take
+	}
+	return out
+}
+
+// Clone returns an independent copy of the sponge, including buffered
+// input and squeeze position.
+func (sp *Sponge) Clone() *Sponge {
+	c := *sp
+	c.buf = append([]byte(nil), sp.buf...)
+	return &c
+}
+
+// PadBlock returns the final padded rate-block for a message tail (the
+// bytes that did not fill a whole block), without touching the sponge.
+// The attack uses it to reconstruct the known padding bits of the last
+// permutation input.
+func PadBlock(tail []byte, rateBytes int, dsByte byte) []byte {
+	if len(tail) >= rateBytes {
+		panic("keccak: PadBlock tail must be shorter than the rate")
+	}
+	block := make([]byte, rateBytes)
+	copy(block, tail)
+	block[len(tail)] ^= dsByte
+	block[rateBytes-1] ^= 0x80
+	return block
+}

@@ -1,0 +1,143 @@
+// Package keccak implements the Keccak-f[1600] permutation and the
+// SHA-3 / SHAKE function family from scratch, with the per-round and
+// per-step access the fault-analysis attack needs: individual step
+// mappings (θ, ρ, π, χ, ι), round-range execution, state snapshots
+// inside a hash computation, and the full inverse permutation used to
+// walk a recovered internal state back to the message block.
+//
+// Bit-index convention (matching FIPS 202): state bit i corresponds to
+// lane (x, y) with x = (i/64) mod 5, y = (i/64) / 5, and bit z = i mod
+// 64 within the lane, so i = 64*(x + 5*y) + z.
+package keccak
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Width of the permutation in bits, lanes and bytes.
+const (
+	StateBits  = 1600
+	LaneBits   = 64
+	NumLanes   = 25
+	StateBytes = StateBits / 8
+	NumRounds  = 24
+)
+
+// State is the 1600-bit Keccak state as 25 lanes of 64 bits. Lane
+// (x,y) is stored at index x + 5*y.
+type State [NumLanes]uint64
+
+// LaneIndex returns the lane index of coordinates (x, y).
+func LaneIndex(x, y int) int { return x + 5*y }
+
+// BitIndex returns the global bit index of (x, y, z).
+func BitIndex(x, y, z int) int { return LaneBits*LaneIndex(x, y) + z }
+
+// BitCoords returns the (x, y, z) coordinates of global bit index i.
+func BitCoords(i int) (x, y, z int) {
+	if i < 0 || i >= StateBits {
+		panic(fmt.Sprintf("keccak: bit index %d out of range", i))
+	}
+	return (i / LaneBits) % 5, i / (5 * LaneBits), i % LaneBits
+}
+
+// Bit returns state bit i.
+func (s *State) Bit(i int) bool {
+	if i < 0 || i >= StateBits {
+		panic(fmt.Sprintf("keccak: bit index %d out of range", i))
+	}
+	return s[i/LaneBits]>>(uint(i)%LaneBits)&1 == 1
+}
+
+// SetBit assigns state bit i.
+func (s *State) SetBit(i int, b bool) {
+	if i < 0 || i >= StateBits {
+		panic(fmt.Sprintf("keccak: bit index %d out of range", i))
+	}
+	mask := uint64(1) << (uint(i) % LaneBits)
+	if b {
+		s[i/LaneBits] |= mask
+	} else {
+		s[i/LaneBits] &^= mask
+	}
+}
+
+// FlipBit toggles state bit i.
+func (s *State) FlipBit(i int) {
+	s[i/LaneBits] ^= uint64(1) << (uint(i) % LaneBits)
+}
+
+// Xor accumulates o into s bitwise.
+func (s *State) Xor(o *State) {
+	for i := range s {
+		s[i] ^= o[i]
+	}
+}
+
+// Equal reports whether the two states are identical.
+func (s *State) Equal(o *State) bool { return *s == *o }
+
+// IsZero reports whether every bit is zero.
+func (s *State) IsZero() bool {
+	for _, l := range s {
+		if l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes serializes the state in the FIPS 202 byte order (lane 0 first,
+// little-endian lanes).
+func (s *State) Bytes() []byte {
+	out := make([]byte, StateBytes)
+	for i, l := range s {
+		binary.LittleEndian.PutUint64(out[8*i:], l)
+	}
+	return out
+}
+
+// SetBytes loads the state from a 200-byte serialization.
+func (s *State) SetBytes(b []byte) {
+	if len(b) != StateBytes {
+		panic(fmt.Sprintf("keccak: SetBytes needs %d bytes, got %d", StateBytes, len(b)))
+	}
+	for i := range s {
+		s[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+}
+
+// XorBytes XORs up to 200 bytes into the front of the state — the
+// sponge absorb primitive.
+func (s *State) XorBytes(b []byte) {
+	if len(b) > StateBytes {
+		panic("keccak: XorBytes block too large")
+	}
+	var full [StateBytes]byte
+	copy(full[:], b)
+	for i := range s {
+		s[i] ^= binary.LittleEndian.Uint64(full[8*i:])
+	}
+}
+
+// ExtractBytes copies the first n bytes of the state — the sponge
+// squeeze primitive.
+func (s *State) ExtractBytes(n int) []byte {
+	if n < 0 || n > StateBytes {
+		panic("keccak: ExtractBytes length out of range")
+	}
+	return s.Bytes()[:n]
+}
+
+// String formats the state as 25 hex lanes, for debugging.
+func (s *State) String() string {
+	out := ""
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			out += fmt.Sprintf("%016x ", s[LaneIndex(x, y)])
+		}
+		out += "\n"
+	}
+	return out
+}

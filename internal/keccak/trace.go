@@ -1,0 +1,104 @@
+package keccak
+
+// This file exposes the inside of a hash computation to the fault
+// analysis: the input of the final permutation, the state at the entry
+// of every round, and digest computation with a fault XORed into the
+// θ input of a chosen round — the paper's injection point.
+
+// Trace records the internals of the final permutation of one hash
+// computation.
+type Trace struct {
+	Mode      Mode
+	Message   []byte
+	PermInput State                // input of the final (digest-producing) permutation
+	Rounds    [NumRounds + 1]State // Rounds[r] = θ input of round r; Rounds[24] = output
+	Digest    []byte
+}
+
+// ChiInput returns the χ input of round r, i.e. L(Rounds[r]) — the
+// 1600-bit secret the attack recovers for r = 22.
+func (t *Trace) ChiInput(r int) State {
+	s := t.Rounds[r]
+	s.LinearLayer()
+	return s
+}
+
+// finalPermInput absorbs the padded message and returns the state just
+// before the final permutation, plus the number of preceding blocks.
+func finalPermInput(m Mode, msg []byte) State {
+	rate := m.RateBytes()
+	padded := append(append([]byte(nil), msg...), make([]byte, 0)...)
+	// Multi-rate padding: the tail (possibly empty) becomes one final block.
+	nFull := len(msg) / rate
+	tail := msg[nFull*rate:]
+	last := PadBlock(tail, rate, m.DomainByte())
+
+	var s State
+	for i := 0; i < nFull; i++ {
+		s.XorBytes(padded[i*rate : (i+1)*rate])
+		s.Permute()
+	}
+	s.XorBytes(last)
+	return s
+}
+
+// TraceHash hashes msg under mode m, recording the final permutation's
+// round-by-round states. For SHAKE modes the default output length is
+// used and must fit in one squeeze (it does for both defaults).
+func TraceHash(m Mode, msg []byte) *Trace {
+	t := &Trace{Mode: m, Message: append([]byte(nil), msg...)}
+	t.PermInput = finalPermInput(m, msg)
+	s := t.PermInput
+	t.Rounds = s.Snapshots()
+	t.Digest = t.Rounds[NumRounds].ExtractBytes(m.DigestBits() / 8)
+	return t
+}
+
+// HashWithFault hashes msg under mode m with delta XORed into the θ
+// input of the given round of the final permutation, returning the
+// faulty digest. round 22 is the paper's penultimate-round target.
+func HashWithFault(m Mode, msg []byte, round int, delta *State) []byte {
+	if round < 0 || round >= NumRounds {
+		panic("keccak: fault round out of range")
+	}
+	s := finalPermInput(m, msg)
+	s.PermuteWithHook(func(r int, _ *State) *State {
+		if r == round {
+			return delta
+		}
+		return nil
+	})
+	return s.ExtractBytes(m.DigestBits() / 8)
+}
+
+// DigestBitsOf extracts digest bit i (little-endian bit order within
+// bytes, matching the state bit order) from a digest byte slice.
+func DigestBitsOf(digest []byte, i int) bool {
+	return digest[i/8]>>(uint(i)%8)&1 == 1
+}
+
+// RecoverPermInput inverts the final permutation from a recovered χ
+// input of round `round`: it applies χ, ι for that round, nothing
+// further forward, and instead walks backwards to round 0. The result
+// is the input of the final permutation, from which the message block
+// and capacity bits can be read.
+func RecoverPermInput(chiInput State, round int) State {
+	s := chiInput
+	// χ input of round r = L(θ input of round r); undo L to get the
+	// round entry, then undo all earlier rounds.
+	s.InvPi()
+	s.InvRho()
+	s.InvTheta()
+	s.InvPermuteRounds(0, round)
+	return s
+}
+
+// VerifyRecovery checks a recovered χ-input state of round `round`
+// against the true message: it recomputes the permutation input and
+// verifies capacity bits are zero-consistent with the mode and that
+// the resulting digest matches.
+func VerifyRecovery(m Mode, msg []byte, chiInput State, round int) bool {
+	want := finalPermInput(m, msg)
+	got := RecoverPermInput(chiInput, round)
+	return got.Equal(&want)
+}

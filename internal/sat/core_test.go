@@ -1,0 +1,163 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"sha3afa/internal/cnf"
+)
+
+func TestFailedAssumptionsSimple(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(-a, -b) // a and b cannot both hold
+	_ = c
+	if s.Solve(a, b, c) != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+	core := s.FailedAssumptions()
+	if len(core) == 0 {
+		t.Fatal("empty failed core")
+	}
+	inCore := map[int]bool{}
+	for _, l := range core {
+		inCore[l] = true
+	}
+	if !inCore[a] && !inCore[b] {
+		t.Fatalf("core %v misses both conflicting assumptions", core)
+	}
+	if inCore[c] {
+		t.Fatalf("core %v includes irrelevant assumption", core)
+	}
+}
+
+func TestFailedAssumptionsContradictoryPair(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.NewVar()
+	if s.Solve(-v, v) != Unsat {
+		t.Fatal("expected UNSAT for contradictory assumptions")
+	}
+	core := s.FailedAssumptions()
+	seen := map[int]bool{}
+	for _, l := range core {
+		seen[l] = true
+	}
+	if !seen[v] || !seen[-v] {
+		t.Fatalf("core %v should contain both polarities", core)
+	}
+}
+
+func TestFailedAssumptionsChain(t *testing.T) {
+	// a -> x1 -> x2 -> ... -> xn, and assume a plus ¬xn.
+	s := New()
+	n := 20
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(-vars[i], vars[i+1])
+	}
+	extra := s.NewVar()
+	if s.Solve(vars[0], -vars[n-1], extra) != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+	core := s.FailedAssumptions()
+	seen := map[int]bool{}
+	for _, l := range core {
+		seen[l] = true
+	}
+	if !seen[vars[0]] || !seen[-vars[n-1]] {
+		t.Fatalf("core %v misses the chain endpoints", core)
+	}
+	if seen[extra] {
+		t.Fatalf("core %v includes irrelevant assumption", core)
+	}
+}
+
+func TestFailedAssumptionsIsActuallyUnsat(t *testing.T) {
+	// Property: re-solving with only the failed core must stay UNSAT.
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 5 + rng.Intn(10)
+		f := randomFormula(rng, nVars, 3*nVars, 3)
+		s := FromFormula(f, Options{})
+		var assume []int
+		for v := 1; v <= nVars; v++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			l := v
+			if rng.Intn(2) == 0 {
+				l = -v
+			}
+			assume = append(assume, l)
+		}
+		if s.Solve(assume...) != Unsat {
+			continue
+		}
+		core := s.FailedAssumptions()
+		if len(core) > len(assume)+1 {
+			t.Fatalf("core larger than assumption set: %v vs %v", core, assume)
+		}
+		s2 := FromFormula(f, Options{})
+		if st := s2.Solve(core...); st != Unsat {
+			t.Fatalf("trial %d: core %v not sufficient for UNSAT (got %v, assume %v)",
+				trial, core, st, assume)
+		}
+	}
+}
+
+func TestFailedAssumptionsEmptyOnPlainUnsat(t *testing.T) {
+	f := cnf.New()
+	v := f.NewVar()
+	f.AddClause(v)
+	f.AddClause(-v)
+	s := FromFormula(f, Options{})
+	if s.Solve(1) != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+	if len(s.FailedAssumptions()) != 0 {
+		t.Fatal("plain UNSAT should yield an empty failed core")
+	}
+}
+
+func TestSetSavedPhase(t *testing.T) {
+	// With no constraints, the first model follows the saved phases.
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.SetSavedPhase(a, true)
+	s.SetSavedPhase(b, false)
+	if s.Solve() != Sat {
+		t.Fatal("free formula UNSAT")
+	}
+	m := s.Model()
+	if !m[a] || m[b] {
+		t.Fatalf("model %v ignores saved phases", m)
+	}
+	s.SetSavedPhase(a, false)
+	s.SetSavedPhase(b, true)
+	if s.Solve() != Sat {
+		t.Fatal("free formula UNSAT")
+	}
+	m = s.Model()
+	if m[a] || !m[b] {
+		t.Fatalf("model %v ignores flipped phases", m)
+	}
+}
+
+func TestFailedAssumptionsClearedOnSat(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(-a, -b)
+	if s.Solve(a, b) != Unsat {
+		t.Fatal("setup failed")
+	}
+	if s.Solve(a) != Sat {
+		t.Fatal("should be SAT with one assumption")
+	}
+	if len(s.FailedAssumptions()) != 0 {
+		t.Fatal("failed core not cleared after SAT")
+	}
+}

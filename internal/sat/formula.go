@@ -1,0 +1,31 @@
+package sat
+
+import "sha3afa/internal/cnf"
+
+// FromFormula loads every clause of a cnf.Formula into a fresh solver
+// with the given options. Variable numbering is preserved, so models
+// index directly back into the formula's variables.
+func FromFormula(f *cnf.Formula, opts Options) *Solver {
+	s := NewWithOptions(opts)
+	for s.NumVars() < f.NumVars() {
+		s.NewVar()
+	}
+	for _, c := range f.Clauses() {
+		if err := s.AddClause(c...); err != nil {
+			// Already UNSAT at level 0: remaining clauses are irrelevant.
+			break
+		}
+	}
+	return s
+}
+
+// SolveFormula is a convenience one-shot: load, solve, return status
+// and model (nil unless Sat).
+func SolveFormula(f *cnf.Formula, opts Options) (Status, []bool) {
+	s := FromFormula(f, opts)
+	st := s.Solve()
+	if st == Sat {
+		return st, s.Model()
+	}
+	return st, nil
+}

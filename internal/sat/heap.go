@@ -1,0 +1,91 @@
+package sat
+
+// varHeap is a binary max-heap of variables ordered by activity, with
+// a position index for O(log n) updates — the EVSIDS decision queue.
+type varHeap struct {
+	activity *[]float64
+	heap     []int32
+	pos      []int32 // pos[v] = index in heap, -1 if absent
+}
+
+func (h *varHeap) less(a, b int32) bool {
+	return (*h.activity)[a] > (*h.activity)[b]
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) contains(v int32) bool {
+	return int(v) < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *varHeap) insert(v int32) {
+	for int(v) >= len(h.pos) {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = int32(len(h.heap))
+	h.heap = append(h.heap, v)
+	h.up(h.pos[v])
+}
+
+func (h *varHeap) insertIfAbsent(v int32) { h.insert(v) }
+
+func (h *varHeap) pop() int32 {
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[top] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.down(0)
+	}
+	return top
+}
+
+// update re-heapifies after v's activity increased.
+func (h *varHeap) update(v int32) {
+	if h.contains(v) {
+		h.up(h.pos[v])
+	}
+}
+
+func (h *varHeap) up(i int32) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.pos[h.heap[i]] = i
+		i = parent
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int32) {
+	v := h.heap[i]
+	n := int32(len(h.heap))
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && h.less(h.heap[right], h.heap[left]) {
+			best = right
+		}
+		if !h.less(h.heap[best], v) {
+			break
+		}
+		h.heap[i] = h.heap[best]
+		h.pos[h.heap[i]] = i
+		i = best
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}

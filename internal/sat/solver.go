@@ -1,0 +1,760 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver from scratch: two-watched-literal propagation, first-UIP
+// conflict analysis with clause minimization, EVSIDS variable
+// activities, phase saving, Luby-sequence restarts and LBD-based
+// learned-clause database reduction.
+//
+// The Go ecosystem has no standard SAT solver and this reproduction is
+// built offline from the standard library only, so the solver the
+// paper delegates to (an off-the-shelf CDCL solver) is itself part of
+// the reproduction. The external API speaks DIMACS conventions
+// (signed integer literals, variables numbered from 1) so it plugs
+// directly under the cnf package.
+package sat
+
+import (
+	"errors"
+	"time"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solver outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// lit is an internal literal: variable v (0-based) positive = 2v,
+// negative = 2v+1.
+type lit int32
+
+func mkLit(v int32, neg bool) lit {
+	if neg {
+		return lit(2*v + 1)
+	}
+	return lit(2 * v)
+}
+
+func (l lit) vari() int32 { return int32(l) >> 1 }
+func (l lit) neg() lit    { return l ^ 1 }
+func (l lit) sign() bool  { return l&1 == 1 } // true = negated
+
+// extToLit converts a DIMACS literal (±v, v ≥ 1) to internal form.
+func (s *Solver) extToLit(x int) lit {
+	if x == 0 {
+		panic("sat: literal 0")
+	}
+	v := x
+	if v < 0 {
+		v = -v
+	}
+	for int32(v) > s.numVars {
+		s.NewVar()
+	}
+	return mkLit(int32(v-1), x < 0)
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+type clause struct {
+	lits     []lit
+	activity float64
+	lbd      int32
+	learnt   bool
+}
+
+type watcher struct {
+	cl      *clause
+	blocker lit
+}
+
+// Options toggle individual solver features, used by the ablation
+// benchmarks to quantify what each heuristic buys on attack instances.
+type Options struct {
+	NoVSIDS       bool // branch on lowest-index unassigned var instead
+	NoRestarts    bool
+	NoPhaseSaving bool
+	NoMinimize    bool          // skip learned-clause minimization
+	NoReduce      bool          // never delete learned clauses
+	MaxConflicts  int64         // 0 = unlimited
+	Timeout       time.Duration // 0 = unlimited
+}
+
+// Stats counts solver work, exposed for the evaluation figures.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learned      int64
+	Minimized    int64 // literals removed by minimization
+	Deleted      int64 // learned clauses dropped by reduction
+}
+
+// Solver is a CDCL SAT solver. Zero value is not usable; call New.
+type Solver struct {
+	opts Options
+
+	numVars int32
+	clauses []*clause // problem clauses
+	learnts []*clause
+	watches [][]watcher // indexed by lit
+
+	assigns  []lbool // per var
+	level    []int32
+	reason   []*clause
+	trail    []lit
+	trailLim []int32
+	qhead    int
+
+	// decision heuristic
+	activity []float64
+	varInc   float64
+	heap     varHeap
+	polarity []bool // saved phase: true = assign false first
+
+	// conflict analysis scratch
+	seen       []bool
+	analyzeTmp []lit
+
+	// clause activity
+	claInc float64
+
+	unsat bool // formula is UNSAT at level 0
+
+	stats      Stats
+	model      []bool
+	learntCap  int
+	lbdSeen    []int32
+	lbdCounter int32
+	failedCore []int // failed assumptions of the last assumption-UNSAT
+}
+
+// New returns an empty solver with default options.
+func New() *Solver { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns an empty solver with the given feature set.
+func NewWithOptions(opts Options) *Solver {
+	s := &Solver{
+		opts:      opts,
+		varInc:    1,
+		claInc:    1,
+		learntCap: 4000,
+	}
+	s.heap.activity = &s.activity
+	return s
+}
+
+// NumVars returns the number of variables (DIMACS: valid vars are 1..NumVars).
+func (s *Solver) NumVars() int { return int(s.numVars) }
+
+// NewVar allocates a variable, returning its DIMACS index.
+func (s *Solver) NewVar() int {
+	s.numVars++
+	s.watches = append(s.watches, nil, nil)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true) // default: try false first
+	s.seen = append(s.seen, false)
+	s.lbdSeen = append(s.lbdSeen, 0)
+	s.heap.insert(s.numVars - 1)
+	return int(s.numVars)
+}
+
+// Stats returns work counters accumulated so far.
+func (s *Solver) Stats() Stats { return s.stats }
+
+func (s *Solver) value(l lit) lbool {
+	v := s.assigns[l.vari()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.sign() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// AddClause adds a problem clause in DIMACS form. Returns an error if
+// the solver is already proven unsatisfiable at level 0.
+func (s *Solver) AddClause(ext ...int) error {
+	if s.unsat {
+		return errors.New("sat: formula already unsatisfiable")
+	}
+	if s.decisionLevel() != 0 {
+		s.cancelUntil(0)
+	}
+	lits := make([]lit, 0, len(ext))
+	for _, x := range ext {
+		lits = append(lits, s.extToLit(x))
+	}
+	// Remove duplicates / satisfied-at-0 / false-at-0 literals and
+	// detect tautologies.
+	out := lits[:0]
+	seen := map[lit]bool{}
+	for _, l := range lits {
+		switch {
+		case s.value(l) == lTrue, seen[l.neg()]:
+			return nil // satisfied or tautology: drop the clause
+		case s.value(l) == lFalse, seen[l]:
+			continue
+		default:
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	lits = out
+	switch len(lits) {
+	case 0:
+		s.unsat = true
+		return nil
+	case 1:
+		s.uncheckedEnqueue(lits[0], nil)
+		if s.propagate() != nil {
+			s.unsat = true
+		}
+		return nil
+	}
+	c := &clause{lits: lits}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return nil
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.neg()] = append(s.watches[l0.neg()], watcher{c, l1})
+	s.watches[l1.neg()] = append(s.watches[l1.neg()], watcher{c, l0})
+}
+
+func (s *Solver) uncheckedEnqueue(l lit, from *clause) {
+	v := l.vari()
+	if l.sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate runs unit propagation from qhead; returns a conflicting
+// clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.cl
+			// Normalize: make lits[1] the false literal (¬p).
+			np := p.neg()
+			if c.lits[0] == np {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				conflict = c
+				// Copy remaining watchers and stop.
+				kept = append(kept, ws[i+1:]...)
+				s.qhead = len(s.trail)
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		l := s.trail[i]
+		v := l.vari()
+		if !s.opts.NoPhaseSaving {
+			s.polarity[v] = l.sign()
+		}
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.heap.insertIfAbsent(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// computeLBD returns the number of distinct decision levels in the clause.
+func (s *Solver) computeLBD(lits []lit) int32 {
+	s.lbdCounter++
+	var n int32
+	for _, l := range lits {
+		lv := s.level[l.vari()]
+		if lv > 0 && s.lbdSeen[lv%int32(len(s.lbdSeen))] != s.lbdCounter {
+			s.lbdSeen[lv%int32(len(s.lbdSeen))] = s.lbdCounter
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(conflict *clause) ([]lit, int32) {
+	learnt := s.analyzeTmp[:0]
+	learnt = append(learnt, 0) // placeholder for asserting literal
+	var p lit = -1
+	idx := len(s.trail) - 1
+	counter := 0
+	c := conflict
+
+	for {
+		start := 0
+		if p != -1 {
+			start = 1 // skip the asserting literal of the reason
+		}
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		for j := start; j < len(c.lits); j++ {
+			q := c.lits[j]
+			v := q.vari()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk back the trail to the next marked literal.
+		for !s.seen[s.trail[idx].vari()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.vari()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[v]
+	}
+	learnt[0] = p.neg()
+
+	// Everything marked so far must be unmarked at the end, including
+	// literals the minimization below removes from the clause.
+	toClear := make([]lit, len(learnt))
+	copy(toClear, learnt)
+
+	// Minimization: drop literals whose reason is subsumed by the rest
+	// of the clause (local / non-recursive form).
+	if !s.opts.NoMinimize {
+		marked := map[int32]bool{}
+		for _, l := range learnt {
+			marked[l.vari()] = true
+		}
+		out := learnt[:1]
+		for _, l := range learnt[1:] {
+			r := s.reason[l.vari()]
+			if r == nil {
+				out = append(out, l)
+				continue
+			}
+			redundant := true
+			for _, q := range r.lits {
+				if q.vari() == l.vari() {
+					continue
+				}
+				if !marked[q.vari()] && s.level[q.vari()] > 0 {
+					redundant = false
+					break
+				}
+			}
+			if redundant {
+				s.stats.Minimized++
+			} else {
+				out = append(out, l)
+			}
+		}
+		learnt = out
+	}
+
+	// Clear seen flags for every marked literal (removed ones included).
+	for _, l := range toClear {
+		s.seen[l.vari()] = false
+	}
+
+	// Backtrack level: second-highest level in the clause.
+	btLevel := int32(0)
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].vari()] > s.level[learnt[maxI].vari()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].vari()]
+	}
+	s.analyzeTmp = learnt[:0]
+	cp := make([]lit, len(learnt))
+	copy(cp, learnt)
+	return cp, btLevel
+}
+
+// reduceDB deletes roughly half of the learned clauses, keeping low-LBD
+// and recently useful ones.
+func (s *Solver) reduceDB() {
+	if s.opts.NoReduce {
+		return
+	}
+	// Simple selection: keep clauses with lbd <= 3 always; sort the
+	// rest by activity and drop the lower half.
+	var keep, candidates []*clause
+	for _, c := range s.learnts {
+		if c.lbd <= 3 || s.isReason(c) {
+			keep = append(keep, c)
+		} else {
+			candidates = append(candidates, c)
+		}
+	}
+	// Insertion-sort-free partial selection: order by activity desc.
+	sortClausesByActivity(candidates)
+	cut := len(candidates) / 2
+	for i, c := range candidates {
+		if i < cut {
+			keep = append(keep, c)
+		} else {
+			s.detach(c)
+			s.stats.Deleted++
+		}
+	}
+	s.learnts = keep
+}
+
+func (s *Solver) isReason(c *clause) bool {
+	v := c.lits[0].vari()
+	return s.assigns[v] != lUndef && s.reason[v] == c
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, w := range []lit{c.lits[0].neg(), c.lits[1].neg()} {
+		ws := s.watches[w]
+		for i, wt := range ws {
+			if wt.cl == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func sortClausesByActivity(cs []*clause) {
+	// Shell sort keeps us dependency-free and is fine at this scale.
+	for gap := len(cs) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(cs); i++ {
+			c := cs[i]
+			j := i
+			for ; j >= gap && cs[j-gap].activity < c.activity; j -= gap {
+				cs[j] = cs[j-gap]
+			}
+			cs[j] = c
+		}
+	}
+}
+
+func (s *Solver) pickBranchLit() lit {
+	if s.opts.NoVSIDS {
+		for v := int32(0); v < s.numVars; v++ {
+			if s.assigns[v] == lUndef {
+				return mkLit(v, s.polarity[v])
+			}
+		}
+		return -1
+	}
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assigns[v] == lUndef {
+			return mkLit(v, s.polarity[v])
+		}
+	}
+	return -1
+}
+
+// luby returns the i-th element (1-based) of the Luby restart
+// sequence 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int64) int64 {
+	x := i - 1
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return int64(1) << uint(seq)
+}
+
+// Solve determines satisfiability under optional DIMACS assumptions.
+// It returns Unknown only if a conflict/time budget from Options ran out.
+func (s *Solver) Solve(assumptions ...int) Status {
+	s.failedCore = nil
+	if s.unsat {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	assume := make([]lit, 0, len(assumptions))
+	for _, a := range assumptions {
+		assume = append(assume, s.extToLit(a))
+	}
+
+	var deadline time.Time
+	if s.opts.Timeout > 0 {
+		deadline = time.Now().Add(s.opts.Timeout)
+	}
+	startConflicts := s.stats.Conflicts
+	restartNum := int64(0)
+	conflictsUntilRestart := func() int64 {
+		restartNum++
+		return 100 * luby(restartNum)
+	}
+	budget := conflictsUntilRestart()
+
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return Unsat
+			}
+			// Conflicts below the assumption levels: check whether the
+			// conflict is independent of assumptions by analyzing
+			// normally; if the backtrack level falls inside the
+			// assumption prefix we just retract to it and re-decide.
+			learnt, btLevel := s.analyze(conflict)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+				s.stats.Learned++
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			budget--
+			if !deadline.IsZero() && s.stats.Conflicts%256 == 0 && time.Now().After(deadline) {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.opts.MaxConflicts > 0 && s.stats.Conflicts-startConflicts >= s.opts.MaxConflicts {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+
+		if budget <= 0 && !s.opts.NoRestarts && s.decisionLevel() > int32(len(assume)) {
+			s.stats.Restarts++
+			s.cancelUntil(int32(len(assume)))
+			budget = conflictsUntilRestart()
+		}
+		if len(s.learnts) > s.learntCap {
+			s.reduceDB()
+			s.learntCap += s.learntCap / 10
+		}
+
+		// Apply pending assumptions as pseudo-decisions.
+		if int(s.decisionLevel()) < len(assume) {
+			a := assume[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				// Already satisfied: introduce an empty decision level
+				// so indices stay aligned.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				continue
+			case lFalse:
+				// Assumption contradicted: extract which assumptions
+				// imply its negation before reporting Unsat.
+				s.failedCore = append([]int{s.extLit(a)}, s.analyzeFinal(a.neg())...)
+				return Unsat
+			default:
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				s.uncheckedEnqueue(a, nil)
+				continue
+			}
+		}
+
+		next := s.pickBranchLit()
+		if next == -1 {
+			// All variables assigned: SAT.
+			s.model = make([]bool, s.numVars+1)
+			for v := int32(0); v < s.numVars; v++ {
+				s.model[v+1] = s.assigns[v] == lTrue
+			}
+			s.cancelUntil(int32(len(assume)))
+			return Sat
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// Model returns the satisfying assignment found by the last Sat call:
+// Model()[v] is the value of DIMACS variable v. Index 0 is unused.
+func (s *Solver) Model() []bool { return s.model }
+
+// FailedAssumptions returns, after an Unsat result from Solve with
+// assumptions, a subset of the assumptions (in DIMACS form) that is
+// already sufficient for unsatisfiability — an unsat core over the
+// assumption set. It is empty when the formula is unsatisfiable on its
+// own.
+func (s *Solver) FailedAssumptions() []int {
+	return append([]int(nil), s.failedCore...)
+}
+
+// analyzeFinal computes the assumptions implying ¬p: it walks the
+// implication graph from p back to decision (assumption) literals.
+// Must be called before backtracking past the conflict.
+func (s *Solver) analyzeFinal(p lit) []int {
+	var core []int
+	if s.decisionLevel() == 0 {
+		return core
+	}
+	s.seen[p.vari()] = true
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		q := s.trail[i]
+		v := q.vari()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			core = append(core, s.extLit(q))
+		} else {
+			for _, l := range r.lits {
+				if s.level[l.vari()] > 0 {
+					s.seen[l.vari()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.vari()] = false
+	return core
+}
+
+// SetSavedPhase overrides the phase-saving polarity of DIMACS
+// variable v: the next branching decision on v tries `val` first.
+// Callers can use it to diversify successive models during
+// enumeration (the attack's candidate search).
+func (s *Solver) SetSavedPhase(v int, val bool) {
+	for s.NumVars() < v {
+		s.NewVar()
+	}
+	s.polarity[v-1] = !val
+}
+
+// extLit converts an internal literal to DIMACS form.
+func (s *Solver) extLit(l lit) int {
+	v := int(l.vari()) + 1
+	if l.sign() {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,492 @@
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sha3afa/internal/cnf"
+)
+
+// bruteForceSat enumerates all assignments of f.
+func bruteForceSat(f *cnf.Formula) bool {
+	n := f.NumVars()
+	for m := 0; m < 1<<n; m++ {
+		assign := make([]bool, n+1)
+		for v := 1; v <= n; v++ {
+			assign[v] = m>>(v-1)&1 == 1
+		}
+		if f.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	if err := s.AddClause(v); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("x: %v", got)
+	}
+	if !s.Model()[v] {
+		t.Fatal("model violates unit clause")
+	}
+	if err := s.AddClause(-v); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("x & !x: %v", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.AddClause() // empty clause
+	if s.Solve() != Unsat {
+		t.Fatal("empty clause not UNSAT")
+	}
+}
+
+func TestNoClausesSat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	s.NewVar()
+	if s.Solve() != Sat {
+		t.Fatal("empty formula not SAT")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(v, -v)
+	if s.Solve() != Sat {
+		t.Fatal("tautology made formula UNSAT")
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	s := New()
+	n := 50
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(-vars[i], vars[i+1])
+	}
+	s.AddClause(vars[0])
+	if s.Solve() != Sat {
+		t.Fatal("implication chain UNSAT")
+	}
+	for i, v := range vars {
+		if !s.Model()[v] {
+			t.Fatalf("var %d not propagated true", i)
+		}
+	}
+}
+
+// pigeonhole encodes PHP(holes+1 pigeons, holes) — classically UNSAT
+// and a real workout for clause learning.
+func pigeonhole(holes int) *cnf.Formula {
+	f := cnf.New()
+	pigeons := holes + 1
+	p := make([][]int, pigeons)
+	for i := range p {
+		p[i] = f.NewVars(holes)
+		f.AddClause(p[i]...) // every pigeon in some hole
+	}
+	for h := 0; h < holes; h++ {
+		for i := 0; i < pigeons; i++ {
+			for j := i + 1; j < pigeons; j++ {
+				f.AddClause(-p[i][h], -p[j][h])
+			}
+		}
+	}
+	return f
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for holes := 2; holes <= 6; holes++ {
+		st, _ := SolveFormula(pigeonhole(holes), Options{})
+		if st != Unsat {
+			t.Fatalf("PHP(%d) = %v, want UNSAT", holes, st)
+		}
+	}
+}
+
+func randomFormula(rng *rand.Rand, nVars, nClauses, width int) *cnf.Formula {
+	f := cnf.New()
+	f.NewVars(nVars)
+	for i := 0; i < nClauses; i++ {
+		w := 1 + rng.Intn(width)
+		c := make([]int, w)
+		for j := range c {
+			v := 1 + rng.Intn(nVars)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c[j] = v
+		}
+		f.AddClause(c...)
+	}
+	return f
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nVars := 3 + rng.Intn(12)
+		nClauses := 1 + rng.Intn(5*nVars)
+		f := randomFormula(rng, nVars, nClauses, 3)
+		want := bruteForceSat(f)
+		st, model := SolveFormula(f, Options{})
+		if (st == Sat) != want {
+			t.Fatalf("trial %d: solver=%v bruteforce=%v", trial, st, want)
+		}
+		if st == Sat && !f.Eval(model) {
+			t.Fatalf("trial %d: model does not satisfy formula", trial)
+		}
+	}
+}
+
+func TestRandomWithFeatureAblations(t *testing.T) {
+	optSets := map[string]Options{
+		"noVSIDS":    {NoVSIDS: true},
+		"noRestart":  {NoRestarts: true},
+		"noPhase":    {NoPhaseSaving: true},
+		"noMinimize": {NoMinimize: true},
+		"noReduce":   {NoReduce: true},
+		"allOff":     {NoVSIDS: true, NoRestarts: true, NoPhaseSaving: true, NoMinimize: true, NoReduce: true},
+	}
+	for name, opts := range optSets {
+		opts := opts
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			for trial := 0; trial < 80; trial++ {
+				nVars := 3 + rng.Intn(10)
+				f := randomFormula(rng, nVars, 1+rng.Intn(4*nVars), 3)
+				want := bruteForceSat(f)
+				st, model := SolveFormula(f, opts)
+				if (st == Sat) != want {
+					t.Fatalf("trial %d: solver=%v bruteforce=%v", trial, st, want)
+				}
+				if st == Sat && !f.Eval(model) {
+					t.Fatalf("trial %d: bad model", trial)
+				}
+			}
+		})
+	}
+}
+
+func TestXorSystemAgainstLinearAlgebra(t *testing.T) {
+	// Encode random GF(2) linear systems as XOR gadgets; SAT answer
+	// must match linear-algebra solvability, and models must satisfy
+	// the parity constraints.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(10)
+		rows := 1 + rng.Intn(2*n)
+		f := cnf.New()
+		vars := f.NewVars(n)
+		type eq struct {
+			lits []int
+			rhs  bool
+		}
+		var eqs []eq
+		for r := 0; r < rows; r++ {
+			var lits []int
+			for _, v := range vars {
+				if rng.Intn(2) == 1 {
+					lits = append(lits, v)
+				}
+			}
+			if len(lits) == 0 {
+				continue
+			}
+			rhs := rng.Intn(2) == 1
+			if len(lits) <= 5 {
+				f.AddXorClause(lits, rhs)
+			} else {
+				out := f.GateXorMany(lits)
+				if rhs {
+					f.Unit(out)
+				} else {
+					f.Unit(-out)
+				}
+			}
+			eqs = append(eqs, eq{lits, rhs})
+		}
+		st, model := SolveFormula(f, Options{})
+		if st == Sat {
+			for _, e := range eqs {
+				p := false
+				for _, l := range e.lits {
+					if model[l] {
+						p = !p
+					}
+				}
+				if p != e.rhs {
+					t.Fatalf("trial %d: model violates parity equation", trial)
+				}
+			}
+		}
+		// Solvability cross-check via brute force over the n real vars.
+		want := false
+		for m := 0; m < 1<<n && !want; m++ {
+			all := true
+			for _, e := range eqs {
+				p := false
+				for _, l := range e.lits {
+					if m>>(l-1)&1 == 1 {
+						p = !p
+					}
+				}
+				if p != e.rhs {
+					all = false
+					break
+				}
+			}
+			want = all
+		}
+		if (st == Sat) != want {
+			t.Fatalf("trial %d: solver=%v, linear solvability=%v", trial, st, want)
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a, b)
+	if s.Solve(-a) != Sat {
+		t.Fatal("(a|b) with ¬a should be SAT")
+	}
+	if !s.Model()[b] {
+		t.Fatal("b must be true under ¬a")
+	}
+	if s.Solve(-a, -b) != Unsat {
+		t.Fatal("(a|b) with ¬a∧¬b should be UNSAT")
+	}
+	// Solver remains usable after assumption UNSAT.
+	if s.Solve() != Sat {
+		t.Fatal("solver unusable after assumption conflict")
+	}
+	if s.Solve(a) != Sat {
+		t.Fatal("assuming a should be SAT")
+	}
+	if !s.Model()[a] {
+		t.Fatal("model ignores assumption")
+	}
+}
+
+func TestModelEnumeration(t *testing.T) {
+	// Count models of (a|b)&(a|c) by blocking; compare to brute force.
+	build := func() *cnf.Formula {
+		f := cnf.New()
+		v := f.NewVars(3)
+		f.AddClause(v[0], v[1])
+		f.AddClause(v[0], v[2])
+		return f
+	}
+	f := build()
+	want := 0
+	for m := 0; m < 8; m++ {
+		assign := []bool{false, m&1 == 1, m&2 == 2, m&4 == 4}
+		if f.Eval(assign) {
+			want++
+		}
+	}
+	s := FromFormula(f, Options{})
+	got := 0
+	for s.Solve() == Sat {
+		got++
+		if got > 8 {
+			t.Fatal("enumeration does not terminate")
+		}
+		model := s.Model()
+		block := make([]int, 3)
+		for v := 1; v <= 3; v++ {
+			if model[v] {
+				block[v-1] = -v
+			} else {
+				block[v-1] = v
+			}
+		}
+		if err := s.AddClause(block...); err != nil {
+			break
+		}
+	}
+	if got != want {
+		t.Fatalf("enumerated %d models, want %d", got, want)
+	}
+}
+
+func TestIncrementalAddBetweenSolves(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(a, b, c)
+	if s.Solve() != Sat {
+		t.Fatal("initial SAT failed")
+	}
+	s.AddClause(-a)
+	s.AddClause(-b)
+	if s.Solve() != Sat {
+		t.Fatal("still satisfiable with c")
+	}
+	if !s.Model()[c] {
+		t.Fatal("c must be true")
+	}
+	s.AddClause(-c)
+	if s.Solve() != Unsat {
+		t.Fatal("should be UNSAT now")
+	}
+}
+
+func TestMaxConflictsUnknown(t *testing.T) {
+	f := pigeonhole(8) // large enough to exceed one conflict
+	st, _ := SolveFormula(f, Options{MaxConflicts: 1})
+	if st != Unknown {
+		t.Fatalf("budget of 1 conflict returned %v", st)
+	}
+}
+
+func TestLubySequence(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	st, _ := SolveFormula(pigeonhole(5), Options{})
+	if st != Unsat {
+		t.Fatal("PHP(5) not UNSAT")
+	}
+	s := FromFormula(pigeonhole(5), Options{})
+	s.Solve()
+	stats := s.Stats()
+	if stats.Conflicts == 0 || stats.Decisions == 0 || stats.Propagations == 0 {
+		t.Fatalf("stats not accumulated: %+v", stats)
+	}
+}
+
+func TestLargeRandom3SATSatisfiable(t *testing.T) {
+	// Planted-solution instances: always SAT, solver must find a model.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 200
+		planted := make([]bool, n+1)
+		for v := 1; v <= n; v++ {
+			planted[v] = rng.Intn(2) == 1
+		}
+		f := cnf.New()
+		f.NewVars(n)
+		for i := 0; i < 4*n; i++ {
+			c := make([]int, 3)
+			for {
+				ok := false
+				for j := range c {
+					v := 1 + rng.Intn(n)
+					if rng.Intn(2) == 0 {
+						v = -v
+					}
+					c[j] = v
+					if planted[absInt(v)] == (v > 0) {
+						ok = true
+					}
+				}
+				if ok {
+					break
+				}
+			}
+			f.AddClause(c...)
+		}
+		st, model := SolveFormula(f, Options{})
+		if st != Sat {
+			t.Fatalf("planted instance %d not solved: %v", trial, st)
+		}
+		if !f.Eval(model) {
+			t.Fatalf("planted instance %d: invalid model", trial)
+		}
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestAddClauseAfterUnsat(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(v)
+	s.AddClause(-v)
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+	if err := s.AddClause(v, -v); err == nil {
+		t.Fatal("AddClause after UNSAT should error")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if fmt.Sprint(Sat, Unsat, Unknown) != "SAT UNSAT UNKNOWN" {
+		t.Fatal("Status strings wrong")
+	}
+}
+
+func BenchmarkPigeonhole7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, _ := SolveFormula(pigeonhole(7), Options{})
+		if st != Unsat {
+			b.Fatal("wrong answer")
+		}
+	}
+}
+
+func BenchmarkPlanted3SAT600(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 600
+	planted := make([]bool, n+1)
+	for v := 1; v <= n; v++ {
+		planted[v] = rng.Intn(2) == 1
+	}
+	f := cnf.New()
+	f.NewVars(n)
+	for i := 0; i < 4*n; i++ {
+		c := make([]int, 3)
+		for {
+			ok := false
+			for j := range c {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c[j] = v
+				if planted[absInt(v)] == (v > 0) {
+					ok = true
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		f.AddClause(c...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, _ := SolveFormula(f, Options{})
+		if st != Sat {
+			b.Fatal("wrong answer")
+		}
+	}
+}

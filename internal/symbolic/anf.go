@@ -1,0 +1,222 @@
+package symbolic
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Poly is a Boolean polynomial in algebraic normal form over at most
+// 64 variables: a set of monomials, each a bitmask of participating
+// variables (0 = the constant 1). Addition is XOR (symmetric
+// difference of monomial sets).
+//
+// The paper's method rests on Keccak's low algebraic degree; Poly lets
+// the test suite and the analysis example verify those degrees
+// (deg χ = 2, deg χ⁻¹ = 3) instead of citing them.
+type Poly map[uint64]struct{}
+
+// NewPoly returns the zero polynomial.
+func NewPoly() Poly { return Poly{} }
+
+// PolyConst returns 0 or 1.
+func PolyConst(b bool) Poly {
+	p := NewPoly()
+	if b {
+		p[0] = struct{}{}
+	}
+	return p
+}
+
+// PolyVar returns the polynomial x_i.
+func PolyVar(i int) Poly {
+	if i < 0 || i >= 64 {
+		panic("symbolic: Poly supports variables 0..63")
+	}
+	return Poly{uint64(1) << uint(i): {}}
+}
+
+// Clone returns a copy.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	for m := range p {
+		q[m] = struct{}{}
+	}
+	return q
+}
+
+// Add returns p + q (XOR).
+func (p Poly) Add(q Poly) Poly {
+	out := p.Clone()
+	for m := range q {
+		if _, ok := out[m]; ok {
+			delete(out, m)
+		} else {
+			out[m] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Mul returns p · q. Over GF(2), x² = x, so multiplying monomials ORs
+// their masks.
+func (p Poly) Mul(q Poly) Poly {
+	out := NewPoly()
+	for a := range p {
+		for b := range q {
+			m := a | b
+			if _, ok := out[m]; ok {
+				delete(out, m)
+			} else {
+				out[m] = struct{}{}
+			}
+		}
+	}
+	return out
+}
+
+// Not returns p + 1.
+func (p Poly) Not() Poly { return p.Add(PolyConst(true)) }
+
+// Degree returns the algebraic degree (-1 for the zero polynomial).
+func (p Poly) Degree() int {
+	d := -1
+	for m := range p {
+		if n := bits.OnesCount64(m); n > d {
+			d = n
+		}
+	}
+	return d
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p) == 0 }
+
+// Equal reports whether p and q are identical polynomials.
+func (p Poly) Equal(q Poly) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for m := range p {
+		if _, ok := q[m]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates p under an assignment given as a bitmask.
+func (p Poly) Eval(assign uint64) bool {
+	acc := false
+	for m := range p {
+		if m&assign == m {
+			acc = !acc
+		}
+	}
+	return acc
+}
+
+// String renders the polynomial deterministically, e.g. "x0*x2 + x1 + 1".
+func (p Poly) String() string {
+	if len(p) == 0 {
+		return "0"
+	}
+	masks := make([]uint64, 0, len(p))
+	for m := range p {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	terms := make([]string, 0, len(masks))
+	for _, m := range masks {
+		if m == 0 {
+			terms = append(terms, "1")
+			continue
+		}
+		var vs []string
+		for i := 0; i < 64; i++ {
+			if m>>uint(i)&1 == 1 {
+				vs = append(vs, "x"+itoa(i))
+			}
+		}
+		terms = append(terms, strings.Join(vs, "*"))
+	}
+	return strings.Join(terms, " + ")
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [4]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// ANFFromTruthTable computes the ANF of an n-variable Boolean function
+// given its 2^n truth table (index = assignment bitmask) via the
+// Möbius transform.
+func ANFFromTruthTable(n int, table []bool) Poly {
+	if len(table) != 1<<uint(n) {
+		panic("symbolic: truth table length mismatch")
+	}
+	coeff := append([]bool(nil), table...)
+	for i := 0; i < n; i++ {
+		step := 1 << uint(i)
+		for j := 0; j < len(coeff); j += 2 * step {
+			for k := j; k < j+step; k++ {
+				coeff[k+step] = coeff[k+step] != coeff[k]
+			}
+		}
+	}
+	p := NewPoly()
+	for m, c := range coeff {
+		if c {
+			p[uint64(m)] = struct{}{}
+		}
+	}
+	return p
+}
+
+// ChiRowANF returns the ANF polynomials of the 5 output bits of the χ
+// row map (5 variables).
+func ChiRowANF() [5]Poly {
+	var out [5]Poly
+	for x := 0; x < 5; x++ {
+		a := PolyVar(x)
+		b := PolyVar((x + 1) % 5)
+		c := PolyVar((x + 2) % 5)
+		out[x] = a.Add(b.Not().Mul(c))
+	}
+	return out
+}
+
+// InvChiRowANF returns the ANF polynomials of the 5 output bits of the
+// inverse χ row map, recovered from its truth table.
+func InvChiRowANF() [5]Poly {
+	// Build χ's truth table, invert it, Möbius each output bit.
+	var inv [32]int
+	for in := 0; in < 32; in++ {
+		out := 0
+		for x := 0; x < 5; x++ {
+			b := in >> x & 1
+			b1 := in >> ((x + 1) % 5) & 1
+			b2 := in >> ((x + 2) % 5) & 1
+			out |= (b ^ (^b1 & 1 & b2)) << x
+		}
+		inv[out] = in
+	}
+	var polys [5]Poly
+	for x := 0; x < 5; x++ {
+		table := make([]bool, 32)
+		for v := 0; v < 32; v++ {
+			table[v] = inv[v]>>x&1 == 1
+		}
+		polys[x] = ANFFromTruthTable(5, table)
+	}
+	return polys
+}

@@ -1,0 +1,136 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPolyBasics(t *testing.T) {
+	zero := NewPoly()
+	one := PolyConst(true)
+	x0, x1 := PolyVar(0), PolyVar(1)
+	if !zero.IsZero() || zero.Degree() != -1 {
+		t.Fatal("zero polynomial wrong")
+	}
+	if one.Degree() != 0 {
+		t.Fatal("constant degree wrong")
+	}
+	if x0.Degree() != 1 {
+		t.Fatal("variable degree wrong")
+	}
+	if !x0.Add(x0).IsZero() {
+		t.Fatal("p+p != 0")
+	}
+	if !x0.Mul(x0).Equal(x0) {
+		t.Fatal("x² != x over GF(2)")
+	}
+	prod := x0.Mul(x1)
+	if prod.Degree() != 2 {
+		t.Fatal("x0*x1 degree wrong")
+	}
+	if got := x0.Add(x1).Add(one).String(); got != "1 + x0 + x1" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	// p = x0*x1 + x2 + 1
+	p := PolyVar(0).Mul(PolyVar(1)).Add(PolyVar(2)).Add(PolyConst(true))
+	for m := uint64(0); m < 8; m++ {
+		x0 := m&1 == 1
+		x1 := m&2 == 2
+		x2 := m&4 == 4
+		want := (x0 && x1) != x2 != true
+		if p.Eval(m) != want {
+			t.Fatalf("Eval(%b) = %v, want %v", m, p.Eval(m), want)
+		}
+	}
+}
+
+func TestANFFromTruthTableRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		table := make([]bool, 1<<n)
+		for i := range table {
+			table[i] = rng.Intn(2) == 1
+		}
+		p := ANFFromTruthTable(n, table)
+		for m := 0; m < 1<<n; m++ {
+			if p.Eval(uint64(m)) != table[m] {
+				t.Fatalf("n=%d: ANF disagrees with table at %b", n, m)
+			}
+		}
+	}
+}
+
+func TestChiDegreeIsTwo(t *testing.T) {
+	for x, p := range ChiRowANF() {
+		if d := p.Degree(); d != 2 {
+			t.Fatalf("deg χ output %d = %d, want 2", x, d)
+		}
+	}
+}
+
+func TestInvChiDegreeIsThree(t *testing.T) {
+	// The key asymmetry: χ⁻¹ has degree 3 (cf. Duan & Lai's
+	// observation used across the Keccak cryptanalysis literature).
+	anyDeg3 := false
+	for x, p := range InvChiRowANF() {
+		d := p.Degree()
+		if d > 3 {
+			t.Fatalf("deg χ⁻¹ output %d = %d, exceeds 3", x, d)
+		}
+		if d == 3 {
+			anyDeg3 = true
+		}
+	}
+	if !anyDeg3 {
+		t.Fatal("no χ⁻¹ output reaches degree 3")
+	}
+}
+
+func TestInvChiANFInvertsChi(t *testing.T) {
+	chi := ChiRowANF()
+	inv := InvChiRowANF()
+	for v := uint64(0); v < 32; v++ {
+		// Apply χ then χ⁻¹ via the polynomials.
+		var mid uint64
+		for x := 0; x < 5; x++ {
+			if chi[x].Eval(v) {
+				mid |= 1 << uint(x)
+			}
+		}
+		var back uint64
+		for x := 0; x < 5; x++ {
+			if inv[x].Eval(mid) {
+				back |= 1 << uint(x)
+			}
+		}
+		if back != v {
+			t.Fatalf("χ⁻¹(χ(%05b)) = %05b", v, back)
+		}
+	}
+}
+
+func TestProductOfInvChiOutputsDegree(t *testing.T) {
+	// Duan–Lai: the product of any two output coordinates of χ⁻¹ also
+	// has degree 3 (not 5) — verify by direct computation.
+	inv := InvChiRowANF()
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if d := inv[i].Mul(inv[j]).Degree(); d > 3 {
+				t.Fatalf("deg(χ⁻¹_%d · χ⁻¹_%d) = %d, want ≤ 3", i, j, d)
+			}
+		}
+	}
+}
+
+func TestPolyVarRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for variable 64")
+		}
+	}()
+	PolyVar(64)
+}

@@ -1,0 +1,250 @@
+// Package symbolic builds Boolean circuits by symbolically executing
+// Keccak rounds over a hash-consed gate DAG, and compiles the cone of
+// influence of constrained outputs into CNF via Tseitin encoding.
+//
+// This is the "algebraic" half of algebraic fault analysis: the last
+// two Keccak rounds become a DAG of XOR and AND gates over 1600
+// unknown state bits (plus fault variables); observed digest bits pin
+// outputs; the CNF goes to the SAT solver.
+//
+// The package also provides algebraic normal form (ANF) polynomials
+// used to verify the degree properties the paper exploits (χ has
+// degree 2, χ⁻¹ degree 3).
+package symbolic
+
+import "fmt"
+
+// Ref references a node in a Circuit with an optional negation in the
+// lowest bit. The constant false is node 0, so False = Ref(0) and
+// True = its negation.
+type Ref int32
+
+// Constant references.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// Not returns the negated reference.
+func (r Ref) Not() Ref { return r ^ 1 }
+
+// NotIf negates r when b is true.
+func (r Ref) NotIf(b bool) Ref {
+	if b {
+		return r.Not()
+	}
+	return r
+}
+
+func (r Ref) node() int32    { return int32(r) >> 1 }
+func (r Ref) negated() bool  { return r&1 == 1 }
+func (r Ref) IsConst() bool  { return r.node() == 0 }
+func (r Ref) ConstVal() bool { return r == True }
+
+type kind uint8
+
+const (
+	kConst kind = iota
+	kInput
+	kAnd
+	kXor
+)
+
+type node struct {
+	kind kind
+	a, b Ref   // children for kAnd / kXor
+	idx  int32 // input index for kInput
+}
+
+// Circuit is a hash-consed DAG of AND/XOR gates over named inputs.
+type Circuit struct {
+	nodes   []node
+	inputs  []Ref // inputs[i] = ref of input i
+	andHash map[[2]Ref]Ref
+	xorHash map[[2]Ref]Ref
+	numAnd  int
+	numXor  int
+}
+
+// NewCircuit returns an empty circuit containing only the constant.
+func NewCircuit() *Circuit {
+	return &Circuit{
+		nodes:   []node{{kind: kConst}},
+		andHash: make(map[[2]Ref]Ref),
+		xorHash: make(map[[2]Ref]Ref),
+	}
+}
+
+// NumInputs returns the number of allocated inputs.
+func (c *Circuit) NumInputs() int { return len(c.inputs) }
+
+// NumGates returns the number of AND plus XOR gates.
+func (c *Circuit) NumGates() int { return c.numAnd + c.numXor }
+
+// GateCounts returns (AND, XOR) gate counts.
+func (c *Circuit) GateCounts() (and, xor int) { return c.numAnd, c.numXor }
+
+// Input allocates a fresh input and returns its reference.
+func (c *Circuit) Input() Ref {
+	r := Ref(len(c.nodes) << 1)
+	c.nodes = append(c.nodes, node{kind: kInput, idx: int32(len(c.inputs))})
+	c.inputs = append(c.inputs, r)
+	return r
+}
+
+// Inputs allocates n fresh inputs.
+func (c *Circuit) Inputs(n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = c.Input()
+	}
+	return out
+}
+
+// InputRef returns the reference of input i.
+func (c *Circuit) InputRef(i int) Ref { return c.inputs[i] }
+
+// InputIndex returns the input index of a (non-negated) input ref, or
+// -1 if r does not reference an input node.
+func (c *Circuit) InputIndex(r Ref) int {
+	n := c.nodes[r.node()]
+	if n.kind != kInput {
+		return -1
+	}
+	return int(n.idx)
+}
+
+// And returns a reference computing a AND b, with constant folding,
+// idempotence/annihilation rules and structural hashing.
+func (c *Circuit) And(a, b Ref) Ref {
+	// Order children canonically.
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == False:
+		return False
+	case a == True:
+		return b
+	case a == b:
+		return a
+	case a == b.Not():
+		return False
+	}
+	key := [2]Ref{a, b}
+	if r, ok := c.andHash[key]; ok {
+		return r
+	}
+	r := Ref(len(c.nodes) << 1)
+	c.nodes = append(c.nodes, node{kind: kAnd, a: a, b: b})
+	c.andHash[key] = r
+	c.numAnd++
+	return r
+}
+
+// Or returns a OR b via De Morgan.
+func (c *Circuit) Or(a, b Ref) Ref { return c.And(a.Not(), b.Not()).Not() }
+
+// AndNot returns (NOT a) AND b — the χ product term.
+func (c *Circuit) AndNot(a, b Ref) Ref { return c.And(a.Not(), b) }
+
+// Xor returns a XOR b. Negations are pulled out so the stored node is
+// always over positive children, maximizing sharing.
+func (c *Circuit) Xor(a, b Ref) Ref {
+	neg := a.negated() != b.negated()
+	a &^= 1
+	b &^= 1
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == False && b == False: // both constants
+		return False.NotIf(neg)
+	case a == False:
+		return b.NotIf(neg)
+	case a == b:
+		return False.NotIf(neg)
+	}
+	key := [2]Ref{a, b}
+	if r, ok := c.xorHash[key]; ok {
+		return r.NotIf(neg)
+	}
+	r := Ref(len(c.nodes) << 1)
+	c.nodes = append(c.nodes, node{kind: kXor, a: a, b: b})
+	c.xorHash[key] = r
+	c.numXor++
+	return r.NotIf(neg)
+}
+
+// XorMany folds any number of references with a balanced tree.
+func (c *Circuit) XorMany(refs ...Ref) Ref {
+	switch len(refs) {
+	case 0:
+		return False
+	case 1:
+		return refs[0]
+	}
+	mid := len(refs) / 2
+	return c.Xor(c.XorMany(refs[:mid]...), c.XorMany(refs[mid:]...))
+}
+
+// Mux returns (sel AND a) XOR (NOT sel AND b)  — if sel then a else b.
+func (c *Circuit) Mux(sel, a, b Ref) Ref {
+	return c.Xor(c.And(sel, c.Xor(a, b)), b)
+}
+
+// Eval computes the values of the requested refs under the given input
+// assignment (inputs[i] = value of input i).
+func (c *Circuit) Eval(inputs []bool, outs []Ref) []bool {
+	if len(inputs) != len(c.inputs) {
+		panic(fmt.Sprintf("symbolic: Eval got %d inputs, circuit has %d", len(inputs), len(c.inputs)))
+	}
+	val := make([]bool, len(c.nodes))
+	for i := 1; i < len(c.nodes); i++ {
+		n := c.nodes[i]
+		switch n.kind {
+		case kInput:
+			val[i] = inputs[n.idx]
+		case kAnd:
+			val[i] = c.refVal(val, n.a) && c.refVal(val, n.b)
+		case kXor:
+			val[i] = c.refVal(val, n.a) != c.refVal(val, n.b)
+		}
+	}
+	out := make([]bool, len(outs))
+	for i, r := range outs {
+		out[i] = c.refVal(val, r)
+	}
+	return out
+}
+
+func (c *Circuit) refVal(val []bool, r Ref) bool {
+	return val[r.node()] != r.negated()
+}
+
+// ConeSize returns the number of distinct nodes reachable from the
+// given roots — the cone of influence the encoder will emit.
+func (c *Circuit) ConeSize(roots []Ref) int {
+	seen := make(map[int32]bool)
+	var stack []int32
+	push := func(r Ref) {
+		id := r.node()
+		if id != 0 && !seen[id] {
+			seen[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := c.nodes[id]
+		if n.kind == kAnd || n.kind == kXor {
+			push(n.a)
+			push(n.b)
+		}
+	}
+	return len(seen)
+}

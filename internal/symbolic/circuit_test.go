@@ -1,0 +1,278 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"sha3afa/internal/cnf"
+	"sha3afa/internal/sat"
+)
+
+func TestConstantRefs(t *testing.T) {
+	if True != False.Not() || False != True.Not() {
+		t.Fatal("constant negation broken")
+	}
+	if !False.IsConst() || !True.IsConst() {
+		t.Fatal("constants not constant")
+	}
+	if False.ConstVal() || !True.ConstVal() {
+		t.Fatal("ConstVal wrong")
+	}
+}
+
+func TestAndFolding(t *testing.T) {
+	c := NewCircuit()
+	a := c.Input()
+	if c.And(a, False) != False {
+		t.Fatal("a∧0 != 0")
+	}
+	if c.And(a, True) != a {
+		t.Fatal("a∧1 != a")
+	}
+	if c.And(a, a) != a {
+		t.Fatal("a∧a != a")
+	}
+	if c.And(a, a.Not()) != False {
+		t.Fatal("a∧¬a != 0")
+	}
+	if c.NumGates() != 0 {
+		t.Fatal("folding allocated gates")
+	}
+}
+
+func TestXorFolding(t *testing.T) {
+	c := NewCircuit()
+	a := c.Input()
+	if c.Xor(a, False) != a {
+		t.Fatal("a⊕0 != a")
+	}
+	if c.Xor(a, True) != a.Not() {
+		t.Fatal("a⊕1 != ¬a")
+	}
+	if c.Xor(a, a) != False {
+		t.Fatal("a⊕a != 0")
+	}
+	if c.Xor(a, a.Not()) != True {
+		t.Fatal("a⊕¬a != 1")
+	}
+	if c.Xor(True, True) != False {
+		t.Fatal("1⊕1 != 0")
+	}
+	if c.NumGates() != 0 {
+		t.Fatal("folding allocated gates")
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	c := NewCircuit()
+	a, b := c.Input(), c.Input()
+	x1 := c.And(a, b)
+	x2 := c.And(b, a)
+	if x1 != x2 {
+		t.Fatal("AND not commutatively hashed")
+	}
+	y1 := c.Xor(a, b)
+	y2 := c.Xor(b, a)
+	if y1 != y2 {
+		t.Fatal("XOR not commutatively hashed")
+	}
+	// Negation pull-out: a⊕¬b = ¬(a⊕b).
+	if c.Xor(a, b.Not()) != y1.Not() {
+		t.Fatal("XOR negation not pulled out")
+	}
+	if c.NumGates() != 2 {
+		t.Fatalf("expected 2 gates, have %d", c.NumGates())
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	c := NewCircuit()
+	a, b := c.Input(), c.Input()
+	and := c.And(a, b)
+	or := c.Or(a, b)
+	xor := c.Xor(a, b)
+	andNot := c.AndNot(a, b)
+	mux := c.Mux(a, b, b.Not()) // if a then b else ¬b == ¬(a⊕¬b)... just eval
+	for m := 0; m < 4; m++ {
+		in := []bool{m&1 == 1, m&2 == 2}
+		got := c.Eval(in, []Ref{and, or, xor, andNot, mux})
+		if got[0] != (in[0] && in[1]) {
+			t.Fatalf("AND(%v) = %v", in, got[0])
+		}
+		if got[1] != (in[0] || in[1]) {
+			t.Fatalf("OR(%v) = %v", in, got[1])
+		}
+		if got[2] != (in[0] != in[1]) {
+			t.Fatalf("XOR(%v) = %v", in, got[2])
+		}
+		if got[3] != (!in[0] && in[1]) {
+			t.Fatalf("ANDNOT(%v) = %v", in, got[3])
+		}
+		want := in[1]
+		if !in[0] {
+			want = !in[1]
+		}
+		if got[4] != want {
+			t.Fatalf("MUX(%v) = %v", in, got[4])
+		}
+	}
+}
+
+func TestXorManyParity(t *testing.T) {
+	c := NewCircuit()
+	n := 11
+	in := c.Inputs(n)
+	out := c.XorMany(in...)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		vals := make([]bool, n)
+		want := false
+		for i := range vals {
+			vals[i] = rng.Intn(2) == 1
+			want = want != vals[i]
+		}
+		if got := c.Eval(vals, []Ref{out})[0]; got != want {
+			t.Fatalf("XorMany parity wrong on %v", vals)
+		}
+	}
+}
+
+func TestConeSize(t *testing.T) {
+	c := NewCircuit()
+	a, b, d := c.Input(), c.Input(), c.Input()
+	x := c.And(a, b)
+	y := c.Xor(x, d)
+	_ = c.And(d, a) // outside the cone of y
+	if got := c.ConeSize([]Ref{y}); got != 5 {
+		t.Fatalf("ConeSize = %d, want 5 (a,b,d,x,y)", got)
+	}
+	if got := c.ConeSize([]Ref{x}); got != 3 {
+		t.Fatalf("ConeSize = %d, want 3", got)
+	}
+}
+
+// randomCircuit builds a random DAG and returns some output refs.
+func randomCircuit(rng *rand.Rand, nIn, nGates int) (*Circuit, []Ref) {
+	c := NewCircuit()
+	pool := append([]Ref{}, c.Inputs(nIn)...)
+	pool = append(pool, False, True)
+	for g := 0; g < nGates; g++ {
+		a := pool[rng.Intn(len(pool))].NotIf(rng.Intn(2) == 1)
+		b := pool[rng.Intn(len(pool))].NotIf(rng.Intn(2) == 1)
+		var r Ref
+		if rng.Intn(2) == 0 {
+			r = c.And(a, b)
+		} else {
+			r = c.Xor(a, b)
+		}
+		pool = append(pool, r)
+	}
+	outs := make([]Ref, 3)
+	for i := range outs {
+		outs[i] = pool[len(pool)-1-i].NotIf(rng.Intn(2) == 1)
+	}
+	return c, outs
+}
+
+func TestEncoderAgainstEval(t *testing.T) {
+	// For random circuits: encode outputs to CNF, then for every input
+	// assignment solve under assumptions and compare the output
+	// literals' model values with direct evaluation.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		nIn := 2 + rng.Intn(5)
+		c, outs := randomCircuit(rng, nIn, 3+rng.Intn(25))
+		f := cnf.New()
+		enc := NewEncoder(c, f)
+		outLits := make([]int, len(outs))
+		for i, o := range outs {
+			outLits[i] = enc.Lit(o)
+		}
+		inLits := make([]int, nIn)
+		for i := 0; i < nIn; i++ {
+			inLits[i] = enc.Lit(c.InputRef(i))
+		}
+		solver := sat.FromFormula(f, sat.Options{})
+		for m := 0; m < 1<<nIn; m++ {
+			in := make([]bool, nIn)
+			assume := make([]int, nIn)
+			for i := range in {
+				in[i] = m>>i&1 == 1
+				if in[i] {
+					assume[i] = inLits[i]
+				} else {
+					assume[i] = -inLits[i]
+				}
+			}
+			if solver.Solve(assume...) != sat.Sat {
+				t.Fatalf("trial %d: circuit CNF unsat under full input assignment", trial)
+			}
+			model := solver.Model()
+			want := c.Eval(in, outs)
+			for i, l := range outLits {
+				got := model[abs(l)]
+				if l < 0 {
+					got = !got
+				}
+				if got != want[i] {
+					t.Fatalf("trial %d input %b: output %d mismatch", trial, m, i)
+				}
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEncoderFix(t *testing.T) {
+	c := NewCircuit()
+	a, b := c.Input(), c.Input()
+	out := c.And(a, b)
+	f := cnf.New()
+	enc := NewEncoder(c, f)
+	enc.Fix(out, true) // forces a=b=1
+	st, model := sat.SolveFormula(f, sat.Options{})
+	if st != sat.Sat {
+		t.Fatal("fixed AND unsat")
+	}
+	la, lb := enc.Lit(a), enc.Lit(b)
+	if !model[abs(la)] || !model[abs(lb)] {
+		t.Fatal("Fix(out=1) did not force inputs")
+	}
+	enc.Fix(a, false)
+	if st, _ := sat.SolveFormula(f, sat.Options{}); st != sat.Unsat {
+		t.Fatal("contradictory Fix not UNSAT")
+	}
+}
+
+func TestEncoderConstants(t *testing.T) {
+	c := NewCircuit()
+	f := cnf.New()
+	enc := NewEncoder(c, f)
+	if l := enc.Lit(True); l >= 0 {
+		// True must encode as the negation of the false constant var.
+		t.Fatal("True encoded as positive literal of const-false var")
+	}
+	enc.Fix(True, true)
+	enc.Fix(False, false)
+	if st, _ := sat.SolveFormula(f, sat.Options{}); st != sat.Sat {
+		t.Fatal("constant fixes made formula unsat")
+	}
+}
+
+func TestEncoderFixAllMismatchPanics(t *testing.T) {
+	c := NewCircuit()
+	f := cnf.New()
+	enc := NewEncoder(c, f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	enc.FixAll([]Ref{True}, []bool{true, false})
+}

@@ -1,0 +1,125 @@
+package symbolic
+
+import "sha3afa/internal/cnf"
+
+// Encoder compiles circuit nodes into CNF on demand (Tseitin
+// transform). Only nodes actually requested — i.e. the cone of
+// influence of the constrained outputs — get variables and clauses,
+// which is what keeps two symbolic Keccak rounds tractable.
+type Encoder struct {
+	c        *Circuit
+	f        *cnf.Formula
+	varOf    map[int32]int // node id -> cnf variable
+	constVar int           // cnf variable forced false, lazily created
+}
+
+// NewEncoder returns an encoder emitting into f.
+func NewEncoder(c *Circuit, f *cnf.Formula) *Encoder {
+	return &Encoder{c: c, f: f, varOf: make(map[int32]int)}
+}
+
+// Formula returns the target formula.
+func (e *Encoder) Formula() *cnf.Formula { return e.f }
+
+// Lit returns the CNF literal (DIMACS signed form) equivalent to ref,
+// emitting the defining clauses of every not-yet-encoded node in its
+// cone.
+func (e *Encoder) Lit(r Ref) int {
+	base := e.varForNode(r.node())
+	if r.negated() {
+		return -base
+	}
+	return base
+}
+
+// varForNode returns (creating if needed) the CNF variable of node id.
+// Iterative post-order so huge cones cannot overflow the stack.
+func (e *Encoder) varForNode(id int32) int {
+	if v, ok := e.varOf[id]; ok {
+		return v
+	}
+	if id == 0 {
+		if e.constVar == 0 {
+			e.constVar = e.f.NewVar()
+			e.f.Unit(-e.constVar) // constant false
+		}
+		e.varOf[0] = e.constVar
+		return e.constVar
+	}
+	type frame struct {
+		id       int32
+		expanded bool
+	}
+	stack := []frame{{id, false}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, done := e.varOf[fr.id]; done {
+			continue
+		}
+		n := e.c.nodes[fr.id]
+		switch n.kind {
+		case kInput:
+			e.varOf[fr.id] = e.f.NewVar()
+		case kConst:
+			e.varForNode(0)
+		case kAnd, kXor:
+			if !fr.expanded {
+				stack = append(stack, frame{fr.id, true})
+				if _, ok := e.varOf[n.a.node()]; !ok {
+					stack = append(stack, frame{n.a.node(), false})
+				}
+				if _, ok := e.varOf[n.b.node()]; !ok {
+					stack = append(stack, frame{n.b.node(), false})
+				}
+				continue
+			}
+			a := e.litOfEncoded(n.a)
+			b := e.litOfEncoded(n.b)
+			var out int
+			if n.kind == kAnd {
+				out = e.f.GateAnd(a, b)
+			} else {
+				out = e.f.GateXor2(a, b)
+			}
+			e.varOf[fr.id] = out
+		}
+	}
+	return e.varOf[id]
+}
+
+// litOfEncoded assumes the node is already encoded.
+func (e *Encoder) litOfEncoded(r Ref) int {
+	v, ok := e.varOf[r.node()]
+	if !ok {
+		// Constant children may not be encoded yet.
+		v = e.varForNode(r.node())
+	}
+	if r.negated() {
+		return -v
+	}
+	return v
+}
+
+// Fix constrains ref to the given value (unit clause on its literal).
+func (e *Encoder) Fix(r Ref, val bool) {
+	l := e.Lit(r)
+	if !val {
+		l = -l
+	}
+	e.f.Unit(l)
+}
+
+// FixAll constrains a slice of refs to concrete bits.
+func (e *Encoder) FixAll(refs []Ref, vals []bool) {
+	if len(refs) != len(vals) {
+		panic("symbolic: FixAll length mismatch")
+	}
+	for i, r := range refs {
+		e.Fix(r, vals[i])
+	}
+}
+
+// EncodedNodes returns how many circuit nodes have CNF variables —
+// the realized cone size, for the CNF-size figure.
+func (e *Encoder) EncodedNodes() int { return len(e.varOf) }

@@ -1,0 +1,172 @@
+package symbolic
+
+import "sha3afa/internal/keccak"
+
+// SymState is a symbolic Keccak state: one circuit reference per state
+// bit, in the same bit-index convention as keccak.State
+// (bit i = 64*(x+5y)+z).
+type SymState struct {
+	Bits [keccak.StateBits]Ref
+}
+
+// NewSymInput allocates 1600 fresh circuit inputs as a symbolic state.
+// The i-th state bit is input index base+i for the returned base.
+func NewSymInput(c *Circuit) *SymState {
+	s := &SymState{}
+	for i := range s.Bits {
+		s.Bits[i] = c.Input()
+	}
+	return s
+}
+
+// FromConcrete lifts a concrete state to constants.
+func FromConcrete(st *keccak.State) *SymState {
+	s := &SymState{}
+	for i := range s.Bits {
+		s.Bits[i] = False
+		if st.Bit(i) {
+			s.Bits[i] = True
+		}
+	}
+	return s
+}
+
+// Clone returns a copy of the symbolic state.
+func (s *SymState) Clone() *SymState {
+	c := *s
+	return &c
+}
+
+// Xor returns the bitwise XOR of two symbolic states.
+func (s *SymState) Xor(c *Circuit, o *SymState) *SymState {
+	out := &SymState{}
+	for i := range s.Bits {
+		out.Bits[i] = c.Xor(s.Bits[i], o.Bits[i])
+	}
+	return out
+}
+
+func (s *SymState) bit(x, y, z int) Ref {
+	return s.Bits[keccak.BitIndex(x, y, z)]
+}
+
+func (s *SymState) setBit(x, y, z int, r Ref) {
+	s.Bits[keccak.BitIndex(x, y, z)] = r
+}
+
+// Theta applies the symbolic θ step.
+func (s *SymState) Theta(c *Circuit) {
+	// Column parities.
+	var parity [5][64]Ref
+	for x := 0; x < 5; x++ {
+		for z := 0; z < 64; z++ {
+			parity[x][z] = c.XorMany(
+				s.bit(x, 0, z), s.bit(x, 1, z), s.bit(x, 2, z),
+				s.bit(x, 3, z), s.bit(x, 4, z))
+		}
+	}
+	var out SymState
+	for x := 0; x < 5; x++ {
+		for z := 0; z < 64; z++ {
+			d := c.Xor(parity[(x+4)%5][z], parity[(x+1)%5][(z+63)%64])
+			for y := 0; y < 5; y++ {
+				out.setBit(x, y, z, c.Xor(s.bit(x, y, z), d))
+			}
+		}
+	}
+	*s = out
+}
+
+// Rho applies the symbolic ρ step (pure wire permutation).
+func (s *SymState) Rho() {
+	var out SymState
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			off := keccak.RhoOffsets[x][y]
+			for z := 0; z < 64; z++ {
+				out.setBit(x, y, (z+off)%64, s.bit(x, y, z))
+			}
+		}
+	}
+	*s = out
+}
+
+// Pi applies the symbolic π step (pure wire permutation).
+func (s *SymState) Pi() {
+	var out SymState
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			for z := 0; z < 64; z++ {
+				out.setBit(x, y, z, s.bit((x+3*y)%5, x, z))
+			}
+		}
+	}
+	*s = out
+}
+
+// Chi applies the symbolic χ step: the only gates with AND nodes.
+func (s *SymState) Chi(c *Circuit) {
+	var out SymState
+	for y := 0; y < 5; y++ {
+		for z := 0; z < 64; z++ {
+			var row [5]Ref
+			for x := 0; x < 5; x++ {
+				row[x] = s.bit(x, y, z)
+			}
+			for x := 0; x < 5; x++ {
+				out.setBit(x, y, z, c.Xor(row[x], c.AndNot(row[(x+1)%5], row[(x+2)%5])))
+			}
+		}
+	}
+	*s = out
+}
+
+// Iota XORs the round constant — negations on the affected bits.
+func (s *SymState) Iota(r int) {
+	rc := keccak.RoundConstants[r]
+	for z := 0; z < 64; z++ {
+		if rc>>uint(z)&1 == 1 {
+			s.setBit(0, 0, z, s.bit(0, 0, z).Not())
+		}
+	}
+}
+
+// LinearLayer applies L = π ∘ ρ ∘ θ.
+func (s *SymState) LinearLayer(c *Circuit) {
+	s.Theta(c)
+	s.Rho()
+	s.Pi()
+}
+
+// Round applies one full symbolic round.
+func (s *SymState) Round(c *Circuit, r int) {
+	s.LinearLayer(c)
+	s.Chi(c)
+	s.Iota(r)
+}
+
+// PermuteRounds applies rounds from..to-1.
+func (s *SymState) PermuteRounds(c *Circuit, from, to int) {
+	for r := from; r < to; r++ {
+		s.Round(c, r)
+	}
+}
+
+// DigestRefs returns the refs of the first n digest bits (state bit i
+// is digest bit i under the byte serialization order).
+func (s *SymState) DigestRefs(nBits int) []Ref {
+	return append([]Ref(nil), s.Bits[:nBits]...)
+}
+
+// EvalConcrete evaluates the symbolic state under an input assignment,
+// returning a concrete keccak.State.
+func (s *SymState) EvalConcrete(c *Circuit, inputs []bool) keccak.State {
+	vals := c.Eval(inputs, s.Bits[:])
+	var out keccak.State
+	for i, v := range vals {
+		if v {
+			out.SetBit(i, true)
+		}
+	}
+	return out
+}

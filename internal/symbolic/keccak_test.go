@@ -1,0 +1,177 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"sha3afa/internal/keccak"
+)
+
+func randConcrete(rng *rand.Rand) keccak.State {
+	var s keccak.State
+	for i := range s {
+		s[i] = rng.Uint64()
+	}
+	return s
+}
+
+func stateToBools(s *keccak.State) []bool {
+	out := make([]bool, keccak.StateBits)
+	for i := range out {
+		out[i] = s.Bit(i)
+	}
+	return out
+}
+
+// checkStepEquivalence verifies a symbolic step against its concrete
+// counterpart on random inputs.
+func checkStepEquivalence(t *testing.T, name string,
+	sym func(c *Circuit, s *SymState), conc func(s *keccak.State)) {
+	t.Helper()
+	c := NewCircuit()
+	ss := NewSymInput(c)
+	sym(c, ss)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 3; trial++ {
+		in := randConcrete(rng)
+		want := in
+		conc(&want)
+		got := ss.EvalConcrete(c, stateToBools(&in))
+		if !got.Equal(&want) {
+			t.Fatalf("%s: symbolic != concrete", name)
+		}
+	}
+}
+
+func TestSymbolicSteps(t *testing.T) {
+	checkStepEquivalence(t, "theta",
+		func(c *Circuit, s *SymState) { s.Theta(c) },
+		func(s *keccak.State) { s.Theta() })
+	checkStepEquivalence(t, "rho",
+		func(_ *Circuit, s *SymState) { s.Rho() },
+		func(s *keccak.State) { s.Rho() })
+	checkStepEquivalence(t, "pi",
+		func(_ *Circuit, s *SymState) { s.Pi() },
+		func(s *keccak.State) { s.Pi() })
+	checkStepEquivalence(t, "chi",
+		func(c *Circuit, s *SymState) { s.Chi(c) },
+		func(s *keccak.State) { s.Chi() })
+	checkStepEquivalence(t, "iota5",
+		func(_ *Circuit, s *SymState) { s.Iota(5) },
+		func(s *keccak.State) { s.Iota(5) })
+}
+
+func TestSymbolicLastTwoRounds(t *testing.T) {
+	// The attack's exact circuit shape: χ input of round 22 forward to
+	// the permutation output.
+	c := NewCircuit()
+	ss := NewSymInput(c)
+	ss.Chi(c)
+	ss.Iota(22)
+	ss.Round(c, 23)
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 3; trial++ {
+		alpha := randConcrete(rng)
+		want := alpha
+		want.Chi()
+		want.Iota(22)
+		want.Round(23)
+		got := ss.EvalConcrete(c, stateToBools(&alpha))
+		if !got.Equal(&want) {
+			t.Fatal("two-round symbolic execution wrong")
+		}
+	}
+}
+
+func TestSymbolicFullPermutation(t *testing.T) {
+	c := NewCircuit()
+	ss := NewSymInput(c)
+	ss.PermuteRounds(c, 0, keccak.NumRounds)
+	rng := rand.New(rand.NewSource(19))
+	in := randConcrete(rng)
+	want := in
+	want.Permute()
+	got := ss.EvalConcrete(c, stateToBools(&in))
+	if !got.Equal(&want) {
+		t.Fatal("24-round symbolic permutation wrong")
+	}
+	// Zero state must reproduce the known Keccak-f vector.
+	var zero keccak.State
+	got = ss.EvalConcrete(c, stateToBools(&zero))
+	if got[0] != 0xF1258F7940E1DDE7 {
+		t.Fatalf("symbolic Keccak-f(0) lane0 = %016x", got[0])
+	}
+}
+
+func TestSymbolicXorOfStates(t *testing.T) {
+	c := NewCircuit()
+	a := NewSymInput(c)
+	var d keccak.State
+	d.SetBit(100, true)
+	d.SetBit(1599, true)
+	b := FromConcrete(&d)
+	x := a.Xor(c, b)
+	rng := rand.New(rand.NewSource(20))
+	in := randConcrete(rng)
+	want := in
+	want.Xor(&d)
+	got := x.EvalConcrete(c, stateToBools(&in))
+	if !got.Equal(&want) {
+		t.Fatal("symbolic state XOR wrong")
+	}
+}
+
+func TestFromConcreteIsConstant(t *testing.T) {
+	var d keccak.State
+	d.SetBit(7, true)
+	s := FromConcrete(&d)
+	for i, r := range s.Bits {
+		if !r.IsConst() {
+			t.Fatalf("bit %d not constant", i)
+		}
+		if r.ConstVal() != (i == 7) {
+			t.Fatalf("bit %d wrong constant", i)
+		}
+	}
+}
+
+func TestDigestRefs(t *testing.T) {
+	c := NewCircuit()
+	s := NewSymInput(c)
+	refs := s.DigestRefs(224)
+	if len(refs) != 224 {
+		t.Fatalf("DigestRefs length %d", len(refs))
+	}
+	for i, r := range refs {
+		if r != s.Bits[i] {
+			t.Fatalf("DigestRefs[%d] mismatch", i)
+		}
+	}
+}
+
+func TestLastTwoRoundsGateBudget(t *testing.T) {
+	// The attack relies on the two-round cone being small; regression-
+	// guard the circuit size (χ contributes 1600 ANDs per layer).
+	c := NewCircuit()
+	ss := NewSymInput(c)
+	ss.Chi(c)
+	ss.Iota(22)
+	ss.Round(c, 23)
+	and, xor := c.GateCounts()
+	if and != 3200 {
+		t.Fatalf("AND gates = %d, want 3200 (2 χ layers)", and)
+	}
+	if xor > 12000 {
+		t.Fatalf("XOR gates = %d, exceeds budget", xor)
+	}
+}
+
+func BenchmarkBuildTwoRoundCircuit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewCircuit()
+		ss := NewSymInput(c)
+		ss.Chi(c)
+		ss.Iota(22)
+		ss.Round(c, 23)
+	}
+}
