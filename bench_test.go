@@ -6,15 +6,18 @@
 package sha3afa
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
 
 	"sha3afa/internal/campaign"
+	"sha3afa/internal/cnf"
 	"sha3afa/internal/core"
 	"sha3afa/internal/countermeasure"
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/portfolio"
 	"sha3afa/internal/sat"
 )
 
@@ -123,6 +126,50 @@ func BenchmarkAblationEncoding(b *testing.B) {
 func BenchmarkAblationSolver(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		campaign.AblationSolver(io.Discard, 4)
+	}
+}
+
+// attackFormula builds a fixed satisfiable attack instance (SHA3-512,
+// byte model, relaxed positions) for solver benchmarks.
+func attackFormula(faults int) *cnf.Formula {
+	msg := []byte("portfolio bench instance")
+	correct, injs := fault.Campaign(keccak.SHA3_512, msg, fault.Byte, 22, faults, 12000)
+	b := core.NewBuilder(core.DefaultConfig(keccak.SHA3_512, fault.Byte))
+	if err := b.AddCorrect(correct); err != nil {
+		panic(err)
+	}
+	for _, inj := range injs {
+		if err := b.AddFaulty(inj.FaultyDigest, -1); err != nil {
+			panic(err)
+		}
+	}
+	return b.Formula()
+}
+
+// BenchmarkPortfolioVsSingle — one attack CNF, solved by the classic
+// single solver and by portfolios of increasing size. The ratio of the
+// single/portfolio times is recorded in EXPERIMENTS.md; on a
+// single-core host the portfolio can only break even at best, since
+// the members time-share one CPU and pay the sharing overhead.
+func BenchmarkPortfolioVsSingle(b *testing.B) {
+	form := attackFormula(8)
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sat.FromFormula(form, sat.Options{})
+			if st := s.Solve(); st != sat.Sat {
+				b.Fatalf("single solver: %v", st)
+			}
+		}
+	})
+	for _, n := range []int{2, 4} {
+		b.Run(fmt.Sprintf("portfolio-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := portfolio.Solve(form, portfolio.Options{Workers: n})
+				if res.Status != sat.Sat {
+					b.Fatalf("portfolio-%d: %v", n, res.Status)
+				}
+			}
+		})
 	}
 }
 

@@ -7,7 +7,11 @@
 // Usage:
 //
 //	afa -mode SHA3-512 -model byte -seed 1 -max-faults 60
-//	afa -experiment t1 -seeds 3
+//	afa -experiment t1 -seeds 3 -workers 4
+//	afa -portfolio 4 -v -mode SHA3-512 -model byte
+//
+// -portfolio N races N diversified SAT solvers with clause sharing on
+// every solve; -workers N parallelizes experiment repetitions.
 package main
 
 import (
@@ -30,7 +34,12 @@ func main() {
 	knownPos := flag.Bool("known-position", false, "precise (non-relaxed) fault position")
 	experiment := flag.String("experiment", "", "regenerate a table/figure: t1,t2,t3,t4,f1,f2,f3,f4,a1,a2,e1,e2,c1,c2")
 	seeds := flag.Int("seeds", 3, "seeds per cell for -experiment")
+	workers := flag.Int("workers", 1, "parallel campaign repetitions (experiments)")
+	members := flag.Int("portfolio", 0, "race N diversified SAT solvers per solve (0/1 = single)")
+	verbose := flag.Bool("v", false, "print per-solver statistics")
 	flag.Parse()
+
+	campaign.SetWorkers(*workers)
 
 	if *experiment != "" {
 		runExperiment(*experiment, *seeds)
@@ -50,12 +59,24 @@ func main() {
 
 	cfg := core.DefaultConfig(mode, model)
 	cfg.KnownPosition = *knownPos
-	fmt.Printf("AFA on %s under the %s fault model (seed %d, budget %d faults)\n",
-		mode, model, *seed, *maxFaults)
+	cfg.Portfolio = *members
+	if cfg.Portfolio > 1 {
+		fmt.Printf("AFA on %s under the %s fault model (seed %d, budget %d faults, portfolio of %d solvers)\n",
+			mode, model, *seed, *maxFaults, cfg.Portfolio)
+	} else {
+		fmt.Printf("AFA on %s under the %s fault model (seed %d, budget %d faults)\n",
+			mode, model, *seed, *maxFaults)
+	}
 	run := campaign.RunAFA(mode, model, *seed, campaign.AFAOptions{
 		MaxFaults: *maxFaults,
 		Config:    &cfg,
 	})
+	if *verbose {
+		fmt.Println("per-solver statistics:")
+		for _, st := range run.Solvers {
+			fmt.Printf("  %s\n", st)
+		}
+	}
 	if !run.Recovered {
 		fmt.Printf("NOT RECOVERED within %d faults (%v elapsed, %v solving)\n",
 			run.FaultsUsed, run.TotalTime.Round(time.Millisecond), run.SolveTime.Round(time.Millisecond))

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	satsolve [-timeout 10m] [-stats] instance.cnf
+//	satsolve [-timeout 10m] [-stats] [-portfolio N] instance.cnf
+//
+// With -portfolio N the instance is raced by N diversified solvers
+// with learned-clause sharing; the first definitive answer wins and
+// -stats reports each member's work.
 package main
 
 import (
@@ -14,12 +18,14 @@ import (
 	"time"
 
 	"sha3afa/internal/cnf"
+	"sha3afa/internal/portfolio"
 	"sha3afa/internal/sat"
 )
 
 func main() {
 	timeout := flag.Duration("timeout", 0, "solving timeout (0 = none)")
 	stats := flag.Bool("stats", false, "print solver statistics")
+	members := flag.Int("portfolio", 0, "race N diversified solvers with clause sharing (0/1 = single solver)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: satsolve [flags] instance.cnf")
@@ -37,20 +43,39 @@ func main() {
 		os.Exit(1)
 	}
 
-	solver := sat.FromFormula(form, sat.Options{Timeout: *timeout})
-	start := time.Now()
-	st := solver.Solve()
-	elapsed := time.Since(start)
-
-	if *stats {
-		s := solver.Stats()
-		fmt.Printf("c time=%v conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d\n",
-			elapsed.Round(time.Millisecond), s.Conflicts, s.Decisions, s.Propagations, s.Restarts, s.Learned)
+	var (
+		st    sat.Status
+		model []bool
+	)
+	if *members > 1 {
+		res := portfolio.Solve(form, portfolio.Options{
+			Workers: *members,
+			Base:    sat.Options{Timeout: *timeout},
+		})
+		st, model = res.Status, res.Model
+		if *stats {
+			fmt.Printf("c time=%v members=%d winner=%d\n",
+				res.WallTime.Round(time.Millisecond), len(res.Solvers), res.Winner)
+			for _, m := range res.Solvers {
+				fmt.Printf("c %s\n", m)
+			}
+		}
+	} else {
+		solver := sat.FromFormula(form, sat.Options{Timeout: *timeout})
+		start := time.Now()
+		st = solver.Solve()
+		elapsed := time.Since(start)
+		model = solver.Model()
+		if *stats {
+			s := solver.Stats()
+			fmt.Printf("c time=%v conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d\n",
+				elapsed.Round(time.Millisecond), s.Conflicts, s.Decisions, s.Propagations, s.Restarts, s.Learned)
+		}
 	}
+
 	switch st {
 	case sat.Sat:
 		fmt.Println("s SATISFIABLE")
-		model := solver.Model()
 		line := "v"
 		for v := 1; v < len(model); v++ {
 			lit := v

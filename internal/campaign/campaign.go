@@ -14,6 +14,7 @@ import (
 	"sha3afa/internal/dfa"
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/portfolio"
 )
 
 // AFARun is the outcome of one AFA attack campaign.
@@ -29,6 +30,9 @@ type AFARun struct {
 	Clauses     int
 	FaultsIdent int // faults whose (window,value) the final model reproduced exactly
 	MessageOK   bool
+	// Solvers reports per-solver work: one entry for the classic
+	// solver, one per member when the attack ran a portfolio.
+	Solvers []portfolio.SolverStat
 }
 
 // AFAOptions controls one AFA campaign run.
@@ -136,11 +140,13 @@ func RunAFA(mode keccak.Mode, model fault.Model, seed int64, opts AFAOptions) AF
 				}
 			}
 			run.TotalTime = time.Since(start)
+			run.Solvers = atk.SolverStats()
 			return run
 		}
 	}
 	run.FaultsUsed = opts.MaxFaults
 	run.TotalTime = time.Since(start)
+	run.Solvers = atk.SolverStats()
 	return run
 }
 

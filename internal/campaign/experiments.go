@@ -22,22 +22,24 @@ import (
 // Table1 — faults needed to recover the χ input of round 22, AFA vs
 // DFA, under the single-byte fault model, for all four SHA-3 modes.
 func Table1(w io.Writer, seeds, afaMaxFaults, dfaMaxFaults int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "T1: faults to recover full state, single-byte model (seeds=%d)\n", seeds)
 	fmt.Fprintf(w, "%-10s | %-34s | %-34s | %-34s\n", "mode", "AFA (relaxed)", "DFA (relaxed ident.)", "DFA (oracle ident.)")
 	for _, mode := range keccak.FixedModes {
-		var afa []AFARun
-		var dfaRel, dfaOra []DFARun
+		afa := make([]AFARun, seeds)
+		dfaRel := make([]DFARun, seeds)
+		dfaOra := make([]DFARun, seeds)
 		// Shorter digests yield less information per fault: scale the
 		// budget and solve less often to keep the sweep tractable.
 		budget, stride := afaMaxFaults, 1
 		if mode.DigestBits() < 384 {
 			budget, stride = afaMaxFaults*2, 4
 		}
-		for s := 0; s < seeds; s++ {
-			afa = append(afa, RunAFA(mode, fault.Byte, int64(1000+s), AFAOptions{MaxFaults: budget, SolveEvery: stride}))
-			dfaRel = append(dfaRel, RunDFA(mode, fault.Byte, int64(1000+s), dfaMaxFaults))
-			dfaOra = append(dfaOra, RunDFAOracle(mode, fault.Byte, int64(1000+s), dfaMaxFaults))
-		}
+		forEachIndex(seeds, func(s int) {
+			afa[s] = RunAFA(mode, fault.Byte, int64(1000+s), AFAOptions{MaxFaults: budget, SolveEvery: stride})
+			dfaRel[s] = RunDFA(mode, fault.Byte, int64(1000+s), dfaMaxFaults)
+			dfaOra[s] = RunDFAOracle(mode, fault.Byte, int64(1000+s), dfaMaxFaults)
+		})
 		fmt.Fprintf(w, "%-10s | %-34s | %-34s | %-34s\n",
 			mode, SummarizeAFA(afa).Cell(), SummarizeDFA(dfaRel).Cell(), SummarizeDFA(dfaOra).Cell())
 	}
@@ -47,13 +49,11 @@ func Table1(w io.Writer, seeds, afaMaxFaults, dfaMaxFaults int) {
 // modes: faults needed and wall-clock time (the paper: all four modes
 // broken within several minutes).
 func Table2(w io.Writer, seeds, maxFaults int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "T2: AFA under 16-bit faults (seeds=%d)\n", seeds)
 	fmt.Fprintf(w, "%-10s | %-34s | DFA\n", "mode", "AFA")
 	for _, mode := range keccak.FixedModes {
-		var runs []AFARun
-		for s := 0; s < seeds; s++ {
-			runs = append(runs, RunAFA(mode, fault.Word16, int64(2000+s), AFAOptions{MaxFaults: maxFaults}))
-		}
+		runs := RunAFABatch(mode, fault.Word16, 2000, seeds, AFAOptions{MaxFaults: maxFaults})
 		dfaCell := "infeasible (identification space 100·2^16)"
 		fmt.Fprintf(w, "%-10s | %-34s | %s\n", mode, SummarizeAFA(runs).Cell(), dfaCell)
 	}
@@ -61,11 +61,9 @@ func Table2(w io.Writer, seeds, maxFaults int) {
 
 // Table3 — AFA on SHA3-512 under the 32-bit fault model.
 func Table3(w io.Writer, seeds, maxFaults int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "T3: AFA on SHA3-512 under 32-bit faults (seeds=%d)\n", seeds)
-	var runs []AFARun
-	for s := 0; s < seeds; s++ {
-		runs = append(runs, RunAFA(keccak.SHA3_512, fault.Word32, int64(3000+s), AFAOptions{MaxFaults: maxFaults}))
-	}
+	runs := RunAFABatch(keccak.SHA3_512, fault.Word32, 3000, seeds, AFAOptions{MaxFaults: maxFaults})
 	fmt.Fprintf(w, "SHA3-512   | %-34s | DFA: infeasible (identification space 50·2^32)\n",
 		SummarizeAFA(runs).Cell())
 }
@@ -76,6 +74,7 @@ func Table3(w io.Writer, seeds, maxFaults int) {
 // (window, value) the recovered model reproduces exactly at the end of
 // a successful attack.
 func Table4(w io.Writer, trials int, afaSeeds int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "T4: fault identification rate (DFA trials=%d, AFA seeds=%d)\n", trials, afaSeeds)
 	fmt.Fprintf(w, "%-10s | %-8s | %-12s | %-12s\n", "mode", "model", "DFA unique", "AFA exact")
 	for _, mode := range []keccak.Mode{keccak.SHA3_256, keccak.SHA3_512} {
@@ -93,13 +92,13 @@ func Table4(w io.Writer, trials int, afaSeeds int) {
 					unique++
 				}
 			}
+			budget := 60
+			if mode.DigestBits() < 384 {
+				budget = 110
+			}
+			runs := RunAFABatch(mode, m, 4000, afaSeeds, AFAOptions{MaxFaults: budget, SolveEvery: 3})
 			identified, total := 0, 0
-			for s := 0; s < afaSeeds; s++ {
-				budget := 60
-				if mode.DigestBits() < 384 {
-					budget = 110
-				}
-				run := RunAFA(mode, m, int64(4000+s), AFAOptions{MaxFaults: budget, SolveEvery: 3})
+			for _, run := range runs {
 				if run.Recovered {
 					identified += run.FaultsIdent
 					total += run.FaultsUsed
@@ -118,15 +117,16 @@ func Table4(w io.Writer, trials int, afaSeeds int) {
 // Figure1 — success rate versus number of faults (byte model): the
 // cumulative fraction of seeds recovered within k faults.
 func Figure1(w io.Writer, seeds, maxFaults, step int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "F1: success rate vs faults, byte model (seeds=%d)\n", seeds)
 	used := map[keccak.Mode][]int{}
 	for _, mode := range keccak.FixedModes {
-		for s := 0; s < seeds; s++ {
-			stride := 2
-			if mode.DigestBits() < 384 {
-				stride = 5
-			}
-			run := RunAFA(mode, fault.Byte, int64(5000+s), AFAOptions{MaxFaults: maxFaults, SolveEvery: stride})
+		stride := 2
+		if mode.DigestBits() < 384 {
+			stride = 5
+		}
+		runs := RunAFABatch(mode, fault.Byte, 5000, seeds, AFAOptions{MaxFaults: maxFaults, SolveEvery: stride})
+		for _, run := range runs {
 			n := run.FaultsUsed
 			if !run.Recovered {
 				n = maxFaults + 1
@@ -203,11 +203,17 @@ func RunAFADetailed(mode keccak.Mode, model fault.Model, seed int64, maxFaults i
 // Figure2 — SAT solving time versus number of faults, per fault model,
 // on SHA3-512.
 func Figure2(w io.Writer, maxFaults int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "F2: solve time vs faults (SHA3-512)\n")
 	fmt.Fprintf(w, "%-8s | %-8s | %-12s | %-10s | %-10s | %s\n",
 		"model", "faults", "solve", "vars", "clauses", "status")
-	for _, m := range []fault.Model{fault.Byte, fault.Word16, fault.Word32} {
-		for _, st := range RunAFADetailed(keccak.SHA3_512, m, 6000, maxFaults) {
+	models := []fault.Model{fault.Byte, fault.Word16, fault.Word32}
+	rows := make([][]StepStat, len(models))
+	forEachIndex(len(models), func(i int) {
+		rows[i] = RunAFADetailed(keccak.SHA3_512, models[i], 6000, maxFaults)
+	})
+	for i, m := range models {
+		for _, st := range rows[i] {
 			fmt.Fprintf(w, "%-8s | %-8d | %-12s | %-10d | %-10d | %s\n",
 				m, st.Faults, st.SolveTime.Round(time.Millisecond), st.Vars, st.Clauses, st.Status)
 		}
@@ -217,6 +223,7 @@ func Figure2(w io.Writer, maxFaults int) {
 // Figure3 — information accumulation: determined state bits (sampled)
 // versus number of faults, AFA probe against DFA forced-bit counts.
 func Figure3(w io.Writer, mode keccak.Mode, maxFaults, sample int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "F3: determined state bits vs faults (%s, byte model, sampled %d/1600)\n", mode, sample)
 	rng := rand.New(rand.NewSource(7000))
 	msg := randomMessage(mode, rng)
@@ -247,19 +254,33 @@ func Figure3(w io.Writer, mode keccak.Mode, maxFaults, sample int) {
 
 // Figure4 — CNF instance size by mode and fault model (no solving).
 func Figure4(w io.Writer, faults int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "F4: CNF size with %d faulty observations\n", faults)
 	fmt.Fprintf(w, "%-10s | %-8s | %-10s | %-10s\n", "mode", "model", "vars", "clauses")
+	models := []fault.Model{fault.Byte, fault.Word16, fault.Word32}
+	type cell struct {
+		mode keccak.Mode
+		m    fault.Model
+		st   cnf.Stats
+	}
+	cells := make([]cell, 0, len(keccak.FixedModes)*len(models))
 	for _, mode := range keccak.FixedModes {
-		for _, m := range []fault.Model{fault.Byte, fault.Word16, fault.Word32} {
-			b := core.NewBuilder(core.DefaultConfig(mode, m))
-			digest := keccak.Sum(mode, []byte("size probe"))
-			b.AddCorrect(digest)
-			for k := 0; k < faults; k++ {
-				b.AddFaulty(digest, -1)
-			}
-			st := b.Formula().ComputeStats()
-			fmt.Fprintf(w, "%-10s | %-8s | %-10d | %-10d\n", mode, m, st.Vars, st.Clauses)
+		for _, m := range models {
+			cells = append(cells, cell{mode: mode, m: m})
 		}
+	}
+	forEachIndex(len(cells), func(i int) {
+		c := &cells[i]
+		b := core.NewBuilder(core.DefaultConfig(c.mode, c.m))
+		digest := keccak.Sum(c.mode, []byte("size probe"))
+		b.AddCorrect(digest)
+		for k := 0; k < faults; k++ {
+			b.AddFaulty(digest, -1)
+		}
+		c.st = b.Formula().ComputeStats()
+	})
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-10s | %-8s | %-10d | %-10d\n", c.mode, c.m, c.st.Vars, c.st.Clauses)
 	}
 }
 
@@ -267,6 +288,7 @@ func Figure4(w io.Writer, faults int) {
 // CNF when only digest bits are constrained versus when the full
 // 1600-bit output cone must be encoded.
 func AblationEncoding(w io.Writer) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "A1: cone-of-influence pruning (two-round instance, one fault)\n")
 	fmt.Fprintf(w, "%-10s | %-22s | %-22s\n", "mode", "pruned (digest cone)", "unpruned (full cone)")
 	for _, mode := range keccak.FixedModes {
@@ -299,6 +321,7 @@ func encodingSize(mode keccak.Mode, fullCone bool) string {
 // AblationSolver — what each CDCL feature buys on a fixed attack
 // instance (SHA3-512, byte model, known positions for determinism).
 func AblationSolver(w io.Writer, faults int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "A2: solver feature ablation (SHA3-512, byte model, %d faults, single solve)\n", faults)
 	msg := []byte("solver ablation instance")
 	correct, injs := fault.Campaign(keccak.SHA3_512, msg, fault.Byte, 22, faults, 8000)

@@ -17,14 +17,12 @@ import (
 // TableUnaligned — AFA under sliding-window (unaligned) fault models,
 // the journal extension's strongest relaxation that still recovers.
 func TableUnaligned(w io.Writer, seeds, maxFaults int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "E1: AFA under unaligned (sliding-window) fault models (seeds=%d)\n", seeds)
 	fmt.Fprintf(w, "%-10s | %-16s | %-34s\n", "mode", "model", "AFA")
 	for _, mode := range []keccak.Mode{keccak.SHA3_384, keccak.SHA3_512} {
 		for _, m := range fault.UnalignedModels {
-			var runs []AFARun
-			for s := 0; s < seeds; s++ {
-				runs = append(runs, RunAFA(mode, m, int64(9000+s), AFAOptions{MaxFaults: maxFaults}))
-			}
+			runs := RunAFABatch(mode, m, 9000, seeds, AFAOptions{MaxFaults: maxFaults})
 			fmt.Fprintf(w, "%-10s | %-16s | %-34s\n", mode, m, SummarizeAFA(runs).Cell())
 		}
 	}
@@ -33,13 +31,11 @@ func TableUnaligned(w io.Writer, seeds, maxFaults int) {
 // TableSHAKE — AFA against the XOF modes (with their default output
 // lengths), extending "all four modes" to the full FIPS 202 family.
 func TableSHAKE(w io.Writer, seeds, maxFaults int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "E2: AFA on the SHAKE XOFs, byte fault model (seeds=%d)\n", seeds)
 	fmt.Fprintf(w, "%-10s | %-34s\n", "mode", "AFA")
 	for _, mode := range []keccak.Mode{keccak.SHAKE128, keccak.SHAKE256} {
-		var runs []AFARun
-		for s := 0; s < seeds; s++ {
-			runs = append(runs, RunAFA(mode, fault.Byte, int64(9500+s), AFAOptions{MaxFaults: maxFaults}))
-		}
+		runs := RunAFABatch(mode, fault.Byte, 9500, seeds, AFAOptions{MaxFaults: maxFaults})
 		fmt.Fprintf(w, "%-10s | %-34s\n", mode, SummarizeAFA(runs).Cell())
 	}
 }
@@ -47,6 +43,7 @@ func TableSHAKE(w io.Writer, seeds, maxFaults int) {
 // TableCountermeasure — C1: detection rates of the protection schemes
 // against the injector used by the attack, per fault model.
 func TableCountermeasure(w io.Writer, trials int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "C1: countermeasure detection rates (%d injections each, fault at θ input of round 22)\n", trials)
 	fmt.Fprintf(w, "%-16s | %-20s | %-20s\n", "model", "temporal (2 rounds)", "parity guard")
 	mode := keccak.SHA3_256
@@ -73,6 +70,7 @@ func TableCountermeasure(w io.Writer, trials int) {
 // attack: the fraction of injections that yield a usable faulty digest
 // with and without protection.
 func TableStarvation(w io.Writer, trials int) {
+	w = LockWriter(w)
 	fmt.Fprintf(w, "C2: infective output — usable faulty digests per %d injections\n", trials)
 	mode := keccak.SHA3_256
 	msg := []byte("starvation target")

@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// The campaign worker pool: independent repetitions of an experiment
+// (one per seed) are embarrassingly parallel, so the emitters fan
+// their seed loops out over a process-wide worker count. Seeds are a
+// pure function of the repetition index — never of scheduling — so
+// results are reproducible and the emitted tables are byte-identical
+// for every worker count.
+
+var workerCount int32 = 1
+
+// SetWorkers sets the process-wide campaign parallelism (minimum 1).
+// It is wired to the -workers CLI flag.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	atomic.StoreInt32(&workerCount, int32(n))
+}
+
+// Workers returns the current campaign parallelism.
+func Workers() int { return int(atomic.LoadInt32(&workerCount)) }
+
+// forEachIndex runs fn(0) … fn(n-1) across Workers() goroutines. Each
+// invocation must only write to state owned by its own index (the
+// emitters give every repetition its own slice slot). With one worker
+// it degenerates to a plain loop on the calling goroutine, keeping the
+// sequential path byte-identical.
+func forEachIndex(n int, fn func(i int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int32 = -1
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt32(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// lockedWriter serializes Writes so rows emitted from concurrent
+// goroutines can never interleave mid-line.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// LockWriter wraps w so each Write call is atomic. Wrapping an
+// already-locked writer returns it unchanged, so emitters can wrap
+// defensively at their entry points.
+func LockWriter(w io.Writer) io.Writer {
+	if _, ok := w.(*lockedWriter); ok {
+		return w
+	}
+	return &lockedWriter{w: w}
+}
+
+// RunAFABatch runs reps seeded AFA campaigns (seeds base, base+1, …)
+// across the worker pool and returns them in seed order regardless of
+// scheduling.
+func RunAFABatch(mode keccak.Mode, model fault.Model, baseSeed int64, reps int, opts AFAOptions) []AFARun {
+	runs := make([]AFARun, reps)
+	forEachIndex(reps, func(i int) {
+		runs[i] = RunAFA(mode, model, baseSeed+int64(i), opts)
+	})
+	return runs
+}

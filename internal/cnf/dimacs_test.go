@@ -1,0 +1,126 @@
+package cnf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomDIMACSFormula draws a formula shaped like the edge cases the
+// serializer must survive: clauses of width 0 (the empty clause) up to
+// 7, repeated literals, and declared-but-unused trailing variables.
+func randomDIMACSFormula(rng *rand.Rand) *Formula {
+	f := New()
+	nVars := 1 + rng.Intn(30)
+	f.NewVars(nVars)
+	nClauses := rng.Intn(40)
+	for i := 0; i < nClauses; i++ {
+		w := rng.Intn(8)
+		if w == 0 && rng.Intn(4) != 0 {
+			w = 1 // empty clauses stay present but rarer
+		}
+		c := make([]int, w)
+		for j := range c {
+			v := 1 + rng.Intn(nVars)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c[j] = v
+		}
+		f.AddClause(c...)
+	}
+	return f
+}
+
+func formulasEqual(t *testing.T, trial int, a, b *Formula) {
+	t.Helper()
+	if a.NumVars() != b.NumVars() {
+		t.Fatalf("trial %d: vars %d != %d", trial, a.NumVars(), b.NumVars())
+	}
+	if a.NumClauses() != b.NumClauses() {
+		t.Fatalf("trial %d: clauses %d != %d", trial, a.NumClauses(), b.NumClauses())
+	}
+	ca, cb := a.Clauses(), b.Clauses()
+	for i := range ca {
+		if len(ca[i]) != len(cb[i]) {
+			t.Fatalf("trial %d clause %d: width %d != %d", trial, i, len(ca[i]), len(cb[i]))
+		}
+		for j := range ca[i] {
+			if ca[i][j] != cb[i][j] {
+				t.Fatalf("trial %d clause %d: %v != %v", trial, i, ca[i], cb[i])
+			}
+		}
+	}
+}
+
+// TestDIMACSRoundTripProperty serializes random formulas, re-parses
+// them, and demands clause-for-clause equality — including the empty
+// clause, which serializes to a bare "0" line.
+func TestDIMACSRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 200; trial++ {
+		f := randomDIMACSFormula(rng)
+		var buf bytes.Buffer
+		if err := f.WriteDIMACS(&buf, "round-trip property test"); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		back, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v", trial, err)
+		}
+		formulasEqual(t, trial, f, back)
+	}
+}
+
+// TestDIMACSRoundTripSurvivesBlankLinesAndComments injects blank lines
+// and comments between every line of the serialized form; the parser
+// must tolerate them and reproduce the identical formula.
+func TestDIMACSRoundTripSurvivesBlankLinesAndComments(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		f := randomDIMACSFormula(rng)
+		var buf bytes.Buffer
+		if err := f.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var noisy strings.Builder
+		for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+			switch rng.Intn(3) {
+			case 0:
+				noisy.WriteString("\n   \n")
+			case 1:
+				noisy.WriteString("c interleaved comment\n")
+			}
+			noisy.WriteString(line)
+			noisy.WriteString("\n")
+		}
+		back, err := ParseDIMACS(strings.NewReader(noisy.String()))
+		if err != nil {
+			t.Fatalf("trial %d: parse with noise: %v", trial, err)
+		}
+		formulasEqual(t, trial, f, back)
+	}
+}
+
+// TestDIMACSEmptyClauseExplicit pins the hardest edge: a formula that
+// is just the empty clause (UNSAT by definition) must survive the trip.
+func TestDIMACSEmptyClauseExplicit(t *testing.T) {
+	f := New()
+	f.NewVars(3)
+	f.AddClause(1, -2)
+	f.AddClause() // empty clause
+	f.AddClause(3)
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formulasEqual(t, 0, f, back)
+	if len(back.Clauses()[1]) != 0 {
+		t.Fatal("empty clause lost in round trip")
+	}
+}

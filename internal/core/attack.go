@@ -7,8 +7,29 @@ import (
 
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/portfolio"
 	"sha3afa/internal/sat"
 )
+
+// solveBackend is what the attack needs from a SAT engine: the
+// incremental interface shared by sat.Solver and portfolio.Portfolio.
+type solveBackend interface {
+	AddClause(lits ...int) error
+	Solve(assumptions ...int) sat.Status
+	Model() []bool
+}
+
+// singleBackend wraps the classic single solver so per-solve status is
+// tracked the same way the portfolio tracks it.
+type singleBackend struct {
+	*sat.Solver
+	last sat.Status
+}
+
+func (b *singleBackend) Solve(assumptions ...int) sat.Status {
+	b.last = b.Solver.Solve(assumptions...)
+	return b.last
+}
 
 // Attack drives an incremental AFA session: observations stream in via
 // AddCorrect/AddFaulty, Solve asks the SAT solver whether the
@@ -17,7 +38,7 @@ import (
 type Attack struct {
 	cfg     Config
 	builder *Builder
-	solver  *sat.Solver
+	solver  solveBackend
 	pushed  int // clauses already handed to the solver
 
 	correctDigest []byte
@@ -25,12 +46,23 @@ type Attack struct {
 	lastModel     []bool
 }
 
-// NewAttack returns an empty attack session.
+// NewAttack returns an empty attack session. With cfg.Portfolio > 1
+// every Solve races that many diversified solvers with clause sharing;
+// otherwise the classic single CDCL solver is used.
 func NewAttack(cfg Config) *Attack {
+	var backend solveBackend
+	if cfg.Portfolio > 1 {
+		backend = portfolio.New(portfolio.Options{
+			Workers: cfg.Portfolio,
+			Base:    cfg.SolverOptions,
+		})
+	} else {
+		backend = &singleBackend{Solver: sat.NewWithOptions(cfg.SolverOptions)}
+	}
 	return &Attack{
 		cfg:     cfg,
 		builder: NewBuilder(cfg),
-		solver:  sat.NewWithOptions(cfg.SolverOptions),
+		solver:  backend,
 	}
 }
 
@@ -38,8 +70,18 @@ func NewAttack(cfg Config) *Attack {
 // export of the exact CNF the solver sees).
 func (a *Attack) Builder() *Builder { return a.builder }
 
-// Solver exposes the CDCL solver for statistics.
-func (a *Attack) Solver() *sat.Solver { return a.solver }
+// SolverStats reports per-solver work counters: one entry for the
+// classic solver, one per portfolio member otherwise.
+func (a *Attack) SolverStats() []portfolio.SolverStat {
+	switch s := a.solver.(type) {
+	case *portfolio.Portfolio:
+		return s.Stats()
+	case *singleBackend:
+		return []portfolio.SolverStat{{ID: 0, Name: "single", Status: s.last, Stats: s.Solver.Stats()}}
+	default:
+		return nil
+	}
+}
 
 // AddCorrect records the fault-free digest.
 func (a *Attack) AddCorrect(digest []byte) error {

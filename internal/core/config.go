@@ -32,7 +32,16 @@ type Config struct {
 	// ablation against the relaxed model.
 	KnownPosition bool
 	// SolverOptions tune the CDCL solver (budgets, feature ablations).
+	// With Portfolio > 1 they become the base configuration the
+	// portfolio presets diversify from.
 	SolverOptions sat.Options
+	// Portfolio races this many diversified solvers (with learned-
+	// clause sharing) on every Solve call; 0 or 1 keeps the classic
+	// single-threaded solver. The attack outcome is deterministic in
+	// status regardless of the setting, but with Portfolio > 1 the
+	// *first* satisfying model found may differ between runs, so the
+	// candidate enumeration order can vary.
+	Portfolio int
 	// UniquenessCheck switches Solve to the information-theoretic
 	// criterion: recovery is declared only when the SAT model is
 	// provably unique. This is the probe used by the information-

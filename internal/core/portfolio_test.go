@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// TestPortfolioAttackRecoversSameState runs the end-to-end attack with
+// a solver portfolio and checks it reaches the same recovered state as
+// the single-solver ground truth — the acceptance gate for wiring the
+// portfolio under Attack.Solve.
+func TestPortfolioAttackRecoversSameState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack smoke test skipped in -short mode")
+	}
+	msg := []byte("portfolio smoke message")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, 40, 4321)
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	// Pin the member count: the portfolio path must be exercised even
+	// on a single-core machine (goroutines still interleave), and big
+	// machines must not inflate the test cost.
+	cfg := DefaultConfig(mode, fault.Byte)
+	cfg.Portfolio = 3
+	atk := NewAttack(cfg)
+	if err := atk.AddCorrect(correct); err != nil {
+		t.Fatal(err)
+	}
+	for i, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+		res, err := atk.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Status {
+		case Recovered:
+			if !res.ChiInput.Equal(&truth) {
+				t.Fatal("portfolio attack recovered wrong state")
+			}
+			got, ok := atk.ExtractMessage(res.ChiInput)
+			if !ok || string(got) != string(msg) {
+				t.Fatalf("message extraction failed: ok=%v got=%q", ok, got)
+			}
+			stats := atk.SolverStats()
+			if len(stats) != cfg.Portfolio {
+				t.Fatalf("SolverStats reports %d members, want %d", len(stats), cfg.Portfolio)
+			}
+			var conflicts int64
+			for _, st := range stats {
+				conflicts += st.Stats.Conflicts
+			}
+			if conflicts == 0 {
+				t.Fatal("no member did any work")
+			}
+			t.Logf("portfolio recovery after %d faults; member stats:", i+1)
+			for _, st := range stats {
+				t.Logf("  %s", st)
+			}
+			return
+		case Inconsistent:
+			t.Fatal("constraints inconsistent under portfolio backend")
+		}
+	}
+	t.Fatalf("not recovered after %d faults", len(injs))
+}
+
+// TestSolverStatsSingleBackend: the single-solver path reports exactly
+// one member named "single".
+func TestSolverStatsSingleBackend(t *testing.T) {
+	atk := NewAttack(DefaultConfig(keccak.SHA3_512, fault.Byte))
+	stats := atk.SolverStats()
+	if len(stats) != 1 || stats[0].Name != "single" {
+		t.Fatalf("unexpected stats for single backend: %+v", stats)
+	}
+}

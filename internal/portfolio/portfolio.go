@@ -1,0 +1,288 @@
+// Package portfolio races N diversified CDCL solvers over the same
+// CNF on separate goroutines and returns the first definitive answer.
+//
+// Each member runs the repository's sat.Solver with a different
+// diversification preset (seed, restart cadence, activity decay,
+// phase policy — see presets.go). Members exchange short / low-LBD
+// learned clauses through bounded per-solver import queues: a clause
+// learned by one solver is implied by the shared problem clauses, so
+// injecting it into a sibling at decision level 0 is sound and prunes
+// search the sibling has not done yet. The first solver to return
+// Sat or Unsat wins; the rest are interrupted and the losers' partial
+// work is kept (solvers stay warm for the next incremental call).
+//
+// The portfolio's *status* is deterministic — every member solves the
+// same formula, so all definitive answers agree — but which member
+// wins, and therefore which satisfying model is returned, depends on
+// scheduling. Callers that need model determinism must run with
+// Workers=1 (which executes inline, byte-identical to a plain
+// sat.Solver with the base options).
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sha3afa/internal/cnf"
+	"sha3afa/internal/sat"
+)
+
+// Options configures a portfolio.
+type Options struct {
+	// Workers is the number of racing solvers; <= 0 means NumCPU.
+	Workers int
+	// Base is the solver configuration preset 0 runs unchanged and the
+	// other presets diversify from (see Presets).
+	Base sat.Options
+	// ShareMaxLen exports learned clauses with at most this many
+	// literals (0 = default 8).
+	ShareMaxLen int
+	// ShareMaxLBD additionally exports clauses with LBD at most this
+	// (0 = default 4).
+	ShareMaxLBD int
+	// ImportLimit bounds each solver's pending-import queue; overflow
+	// is dropped (0 = default 4096).
+	ImportLimit int
+	// NoSharing disables the clause exchange entirely.
+	NoSharing bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.ShareMaxLen == 0 {
+		o.ShareMaxLen = 8
+	}
+	if o.ShareMaxLBD == 0 {
+		o.ShareMaxLBD = 4
+	}
+	if o.ImportLimit == 0 {
+		o.ImportLimit = 4096
+	}
+	return o
+}
+
+// SolverStat reports one member's contribution to the last Solve.
+type SolverStat struct {
+	ID     int
+	Name   string     // diversification preset name
+	Status sat.Status // this member's own outcome (Unknown = canceled/budget)
+	Stats  sat.Stats
+}
+
+func (st SolverStat) String() string {
+	return fmt.Sprintf("[%d] %-10s %-8s conflicts=%-8d propagations=%-10d restarts=%-5d imported=%-6d exported=%d",
+		st.ID, st.Name, st.Status, st.Stats.Conflicts, st.Stats.Propagations,
+		st.Stats.Restarts, st.Stats.Imported, st.Stats.Exported)
+}
+
+// Portfolio is an incremental parallel solver: clauses added between
+// Solve calls are broadcast to every member, mirroring the sat.Solver
+// incremental interface so it can slot under core.Attack.
+type Portfolio struct {
+	opts    Options
+	solvers []*sat.Solver
+	names   []string
+	last    []sat.Status
+	winner  int
+	model   []bool
+}
+
+// New returns an empty portfolio of diversified solvers.
+func New(opts Options) *Portfolio {
+	opts = opts.withDefaults()
+	presets := Presets(opts.Workers, opts.Base)
+	p := &Portfolio{
+		opts:   opts,
+		last:   make([]sat.Status, len(presets)),
+		winner: -1,
+	}
+	for _, pre := range presets {
+		s := sat.NewWithOptions(pre.Options)
+		s.SetImportLimit(opts.ImportLimit)
+		p.solvers = append(p.solvers, s)
+		p.names = append(p.names, pre.Name)
+	}
+	if !opts.NoSharing && len(p.solvers) > 1 {
+		for i, s := range p.solvers {
+			peers := make([]*sat.Solver, 0, len(p.solvers)-1)
+			for j, o := range p.solvers {
+				if j != i {
+					peers = append(peers, o)
+				}
+			}
+			s.SetLearnCallback(opts.ShareMaxLen, opts.ShareMaxLBD,
+				func(lits []int, lbd int) {
+					for _, peer := range peers {
+						peer.ImportClause(lits, lbd)
+					}
+				})
+		}
+	}
+	return p
+}
+
+// Workers returns the number of member solvers.
+func (p *Portfolio) Workers() int { return len(p.solvers) }
+
+// NumVars returns the variable count (identical across members).
+func (p *Portfolio) NumVars() int { return p.solvers[0].NumVars() }
+
+// EnsureVars grows every member to at least n variables.
+func (p *Portfolio) EnsureVars(n int) {
+	for _, s := range p.solvers {
+		for s.NumVars() < n {
+			s.NewVar()
+		}
+	}
+}
+
+// AddClause broadcasts a problem clause to every member. An error
+// means the formula is already unsatisfiable at level 0.
+func (p *Portfolio) AddClause(lits ...int) error {
+	var firstErr error
+	for _, s := range p.solvers {
+		if err := s.AddClause(lits...); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Solve races all members under the given assumptions and returns the
+// first definitive status, interrupting the losers. It returns
+// Unknown only when every member ran out of its own budget.
+func (p *Portfolio) Solve(assumptions ...int) sat.Status {
+	return p.SolveContext(context.Background(), assumptions...)
+}
+
+// SolveContext is Solve with cancellation: when ctx is done every
+// member is interrupted and Unknown is returned.
+func (p *Portfolio) SolveContext(ctx context.Context, assumptions ...int) sat.Status {
+	p.winner = -1
+	for i := range p.last {
+		p.last[i] = sat.Unknown
+	}
+	if len(p.solvers) == 1 {
+		st := p.solvers[0].SolveContext(ctx, assumptions...)
+		p.last[0] = st
+		if st == sat.Sat {
+			p.winner = 0
+			p.model = append(p.model[:0], p.solvers[0].Model()...)
+		} else if st == sat.Unsat {
+			p.winner = 0
+		}
+		return st
+	}
+
+	type outcome struct {
+		id int
+		st sat.Status
+	}
+	results := make(chan outcome, len(p.solvers))
+	for i, s := range p.solvers {
+		go func(id int, s *sat.Solver) {
+			results <- outcome{id, s.Solve(assumptions...)}
+		}(i, s)
+	}
+
+	stop := ctx.Done()
+	status := sat.Unknown
+	for remaining := len(p.solvers); remaining > 0; {
+		select {
+		case <-stop:
+			// External cancellation: interrupt everyone once, then keep
+			// draining until all goroutines have returned.
+			for _, s := range p.solvers {
+				s.Interrupt()
+			}
+			stop = nil
+		case o := <-results:
+			remaining--
+			p.last[o.id] = o.st
+			if o.st == sat.Unknown {
+				continue
+			}
+			if p.winner < 0 {
+				p.winner = o.id
+				status = o.st
+				if o.st == sat.Sat {
+					// The winner's goroutine finished before sending on
+					// the channel, so reading its model is race-free.
+					p.model = append(p.model[:0], p.solvers[o.id].Model()...)
+				}
+				for j, s := range p.solvers {
+					if j != o.id {
+						s.Interrupt()
+					}
+				}
+			} else if status != o.st {
+				// Two members disagreeing on a definitive answer means
+				// the clause exchange broke soundness — never continue.
+				panic(fmt.Sprintf("portfolio: solver %d says %v but solver %d says %v",
+					p.winner, status, o.id, o.st))
+			}
+		}
+	}
+	// Interrupts aimed at members that had already finished on their
+	// own budget were never consumed; drop them so they cannot abort
+	// the next incremental call.
+	for _, s := range p.solvers {
+		s.ClearInterrupt()
+	}
+	return status
+}
+
+// Model returns the winner's satisfying assignment from the last Sat
+// result, indexed by DIMACS variable (index 0 unused).
+func (p *Portfolio) Model() []bool { return p.model }
+
+// Winner returns the index of the member that decided the last Solve,
+// or -1 if none did.
+func (p *Portfolio) Winner() int { return p.winner }
+
+// Stats reports each member's accumulated counters and last outcome.
+func (p *Portfolio) Stats() []SolverStat {
+	out := make([]SolverStat, len(p.solvers))
+	for i, s := range p.solvers {
+		out[i] = SolverStat{ID: i, Name: p.names[i], Status: p.last[i], Stats: s.Stats()}
+	}
+	return out
+}
+
+// Result is the outcome of a one-shot Solve over a formula.
+type Result struct {
+	Status   sat.Status
+	Model    []bool // nil unless Sat
+	Winner   int    // index into Solvers; -1 when Unknown
+	Solvers  []SolverStat
+	WallTime time.Duration
+}
+
+// Solve is the one-shot entry point: load the formula into a fresh
+// portfolio, race, and report per-solver statistics.
+func Solve(f *cnf.Formula, opts Options) Result {
+	return SolveContext(context.Background(), f, opts)
+}
+
+// SolveContext is Solve with cancellation.
+func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) Result {
+	p := New(opts)
+	p.EnsureVars(f.NumVars())
+	start := time.Now()
+	for _, c := range f.Clauses() {
+		if err := p.AddClause(c...); err != nil {
+			// UNSAT at level 0: no need to race.
+			return Result{Status: sat.Unsat, Winner: 0, Solvers: p.Stats(), WallTime: time.Since(start)}
+		}
+	}
+	st := p.SolveContext(ctx)
+	res := Result{Status: st, Winner: p.winner, Solvers: p.Stats(), WallTime: time.Since(start)}
+	if st == sat.Sat {
+		res.Model = append([]bool(nil), p.Model()...)
+	}
+	return res
+}

@@ -1,0 +1,67 @@
+package portfolio
+
+import (
+	"fmt"
+
+	"sha3afa/internal/sat"
+)
+
+// Preset is one diversified solver configuration.
+type Preset struct {
+	Name    string
+	Options sat.Options
+}
+
+// Presets derives n diversified solver configurations from a base.
+// Preset 0 ("ref") is the base unchanged, so a 1-worker portfolio is
+// byte-identical to a plain solver; the rest cycle through four
+// families and draw distinct deterministic seeds, so even two members
+// of the same family explore different search trees:
+//
+//   - ref:    the base heuristics untouched
+//   - agile:  fast Luby restarts, slow activity decay, a pinch of
+//     random branching — chases short proofs
+//   - stable: long restart cycles, aggressive decay, true-first
+//     phases — digs deep on one trajectory
+//   - random: random initial phases and frequent random branching —
+//     the diversity backstop
+//
+// Seeds are a pure function of the member index, so a portfolio of
+// the same size is reproducible run to run (up to goroutine timing).
+func Presets(n int, base sat.Options) []Preset {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Preset, n)
+	for i := range out {
+		o := base
+		name := "ref"
+		if i > 0 {
+			o.Seed = int64(i)*0x9E3779B9 + 1
+			switch i % 4 {
+			case 1:
+				name = "agile"
+				o.RestartBase = 32
+				o.VarDecay = 0.99
+				o.RandomVarFreq = 0.01
+			case 2:
+				name = "stable"
+				o.RestartBase = 512
+				o.VarDecay = 0.90
+				o.InitialPhase = sat.PhaseTrue
+			case 3:
+				name = "random"
+				o.InitialPhase = sat.PhaseRandom
+				o.RandomVarFreq = 0.05
+			case 0:
+				name = "ref"
+				o.RandomVarFreq = 0.005
+			}
+			if i >= 4 {
+				name = fmt.Sprintf("%s-%d", name, i/4+1)
+			}
+		}
+		out[i] = Preset{Name: name, Options: o}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sha3afa/internal/cnf"
+)
+
+// TestInterruptStopsLongSolve interrupts a solve that would otherwise
+// run for a very long time (PHP(9) is far beyond the check interval)
+// and asserts Unknown comes back promptly with the solver reusable.
+func TestInterruptStopsLongSolve(t *testing.T) {
+	holes := 9
+	f := pigeonhole(holes)
+	s := FromFormula(f, Options{})
+
+	status := make(chan Status, 1)
+	go func() { status <- s.Solve() }()
+	time.Sleep(50 * time.Millisecond)
+	s.Interrupt()
+	select {
+	case st := <-status:
+		if st != Unknown {
+			t.Fatalf("interrupted solve returned %v, want UNKNOWN", st)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("interrupt not honored within 30s")
+	}
+
+	// The solver must be left reusable: pin pigeon i to hole i, which
+	// makes the instance UNSAT by pure propagation (pigeon holes+1 has
+	// nowhere left), and solve to completion.
+	pigeonVar := func(i, h int) int { return i*holes + h + 1 }
+	for i := 0; i < holes; i++ {
+		if err := s.AddClause(pigeonVar(i, i)); err != nil {
+			// Level-0 propagation may already expose the contradiction
+			// while the units are being added — that is the expected
+			// endgame, not a failure.
+			break
+		}
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("pinned PHP(%d) after interrupt = %v, want UNSAT", holes, st)
+	}
+}
+
+// TestInterruptPendingConsumedByNextSolve: an interrupt raised while
+// no solve is running aborts the next Solve and is consumed by it.
+func TestInterruptPendingConsumedByNextSolve(t *testing.T) {
+	s := FromFormula(pigeonhole(5), Options{})
+	s.Interrupt()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("pre-interrupted solve returned %v", st)
+	}
+	if s.Interrupted() {
+		t.Fatal("interrupt flag not consumed")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("solve after consumed interrupt = %v, want UNSAT", st)
+	}
+}
+
+// TestTimeoutIsSugarOverInterrupt: the Timeout option must behave as a
+// self-armed interrupt — Unknown promptly, solver reusable, and no
+// stale flag leaking into a later call.
+func TestTimeoutIsSugarOverInterrupt(t *testing.T) {
+	s := FromFormula(pigeonhole(9), Options{Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("timed-out solve returned %v", st)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("timeout honored only after %v", elapsed)
+	}
+	if s.Interrupted() {
+		t.Fatal("stale interrupt after timeout")
+	}
+}
+
+func TestSolveContextCancellation(t *testing.T) {
+	s := FromFormula(pigeonhole(9), Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if st := s.SolveContext(ctx); st != Unknown {
+		t.Fatalf("cancelled SolveContext returned %v", st)
+	}
+	if s.Interrupted() {
+		t.Fatal("stale interrupt after context cancellation")
+	}
+	// A fresh, undone context solves normally.
+	s2 := FromFormula(pigeonhole(4), Options{})
+	if st := s2.SolveContext(context.Background()); st != Unsat {
+		t.Fatalf("SolveContext on PHP(4) = %v", st)
+	}
+}
+
+func TestImportClauseForcesLiteral(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a, b)
+	s.ImportClause([]int{-a}, 1)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	if s.Model()[a] || !s.Model()[b] {
+		t.Fatalf("imported unit ignored: model %v", s.Model())
+	}
+	if s.Stats().Imported != 1 {
+		t.Fatalf("Imported = %d, want 1", s.Stats().Imported)
+	}
+}
+
+func TestImportConflictingUnitsUnsat(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.NewVar()
+	s.ImportClause([]int{v}, 1)
+	s.ImportClause([]int{-v}, 1)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("conflicting imports = %v, want UNSAT", st)
+	}
+}
+
+func TestImportLimitBoundsQueue(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a, b)
+	s.SetImportLimit(2)
+	for i := 0; i < 10; i++ {
+		s.ImportClause([]int{a, b}, 2)
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	if got := s.Stats().Imported; got != 2 {
+		t.Fatalf("Imported = %d, want 2 (queue bounded)", got)
+	}
+}
+
+func TestLearnCallbackExportsFilteredClauses(t *testing.T) {
+	var got [][]int
+	s := FromFormula(pigeonhole(5), Options{})
+	maxLen, maxLBD := 3, 2
+	s.SetLearnCallback(maxLen, maxLBD, func(lits []int, lbd int) {
+		if len(lits) > maxLen && lbd > maxLBD {
+			t.Fatalf("exported clause violates filter: len=%d lbd=%d", len(lits), lbd)
+		}
+		got = append(got, lits)
+	})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(5) = %v", st)
+	}
+	if len(got) == 0 {
+		t.Fatal("no clauses exported from a learning-heavy solve")
+	}
+	if int64(len(got)) != s.Stats().Exported {
+		t.Fatalf("callback count %d != Exported stat %d", len(got), s.Stats().Exported)
+	}
+}
+
+func TestDiversifiedOptionsStillCorrect(t *testing.T) {
+	// Every diversification knob must preserve answers.
+	variants := []Options{
+		{Seed: 7, RandomVarFreq: 0.1},
+		{Seed: 3, InitialPhase: PhaseRandom},
+		{InitialPhase: PhaseTrue},
+		{VarDecay: 0.99, RestartBase: 16},
+		{Seed: 9, RandomVarFreq: 0.05, InitialPhase: PhaseRandom, VarDecay: 0.90, RestartBase: 512},
+	}
+	for vi, opts := range variants {
+		if st, _ := SolveFormula(pigeonhole(5), opts); st != Unsat {
+			t.Fatalf("variant %d: PHP(5) = %v", vi, st)
+		}
+		st, model := SolveFormula(pigeonhole5Sat(), opts)
+		if st != Sat {
+			t.Fatalf("variant %d: satisfiable instance = %v", vi, st)
+		}
+		_ = model
+	}
+}
+
+// pigeonhole5Sat: PHP with as many holes as pigeons — satisfiable.
+func pigeonhole5Sat() *cnf.Formula {
+	f := cnf.New()
+	n := 5
+	p := make([][]int, n)
+	for i := range p {
+		p[i] = f.NewVars(n)
+		f.AddClause(p[i]...)
+	}
+	for h := 0; h < n; h++ {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				f.AddClause(-p[i][h], -p[j][h])
+			}
+		}
+	}
+	return f
+}

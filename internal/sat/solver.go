@@ -13,7 +13,11 @@
 package sat
 
 import (
+	"context"
 	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -88,8 +92,20 @@ type watcher struct {
 	blocker lit
 }
 
+// PhaseMode selects the polarity a fresh variable is tried with first.
+type PhaseMode int
+
+// Initial-phase policies, used to diversify portfolio members.
+const (
+	PhaseFalse  PhaseMode = iota // try false first (classic MiniSat default)
+	PhaseTrue                    // try true first
+	PhaseRandom                  // seed-deterministic random initial phase
+)
+
 // Options toggle individual solver features, used by the ablation
-// benchmarks to quantify what each heuristic buys on attack instances.
+// benchmarks to quantify what each heuristic buys on attack instances,
+// and carry the diversification knobs the parallel portfolio varies
+// across its members.
 type Options struct {
 	NoVSIDS       bool // branch on lowest-index unassigned var instead
 	NoRestarts    bool
@@ -97,7 +113,14 @@ type Options struct {
 	NoMinimize    bool          // skip learned-clause minimization
 	NoReduce      bool          // never delete learned clauses
 	MaxConflicts  int64         // 0 = unlimited
-	Timeout       time.Duration // 0 = unlimited
+	Timeout       time.Duration // 0 = unlimited; sugar over Interrupt
+
+	// Diversification knobs (zero values = classic defaults).
+	Seed          int64     // seeds the tie-breaking RNG; 0 = no randomness
+	RandomVarFreq float64   // probability of a random branching variable
+	VarDecay      float64   // EVSIDS activity decay, (0,1); 0 = 0.95
+	RestartBase   int64     // conflicts per Luby restart unit; 0 = 100
+	InitialPhase  PhaseMode // polarity fresh variables are tried with first
 }
 
 // Stats counts solver work, exposed for the evaluation figures.
@@ -109,6 +132,8 @@ type Stats struct {
 	Learned      int64
 	Minimized    int64 // literals removed by minimization
 	Deleted      int64 // learned clauses dropped by reduction
+	Imported     int64 // clauses accepted from other portfolio solvers
+	Exported     int64 // learned clauses handed to the exchange
 }
 
 // Solver is a CDCL SAT solver. Zero value is not usable; call New.
@@ -148,6 +173,30 @@ type Solver struct {
 	lbdSeen    []int32
 	lbdCounter int32
 	failedCore []int // failed assumptions of the last assumption-UNSAT
+
+	rng *rand.Rand // diversification randomness; nil = fully deterministic
+
+	// interrupt is set asynchronously (Interrupt, the Timeout timer, a
+	// portfolio canceling a losing solver) and consumed by the Solve
+	// that observes it. Everything else on the solver is single-owner.
+	interrupt int32
+
+	// Clause exchange: imports are queued by other goroutines under
+	// importMu and drained by the owning goroutine at decision level 0;
+	// exports call learnCB synchronously from inside Solve.
+	importMu    sync.Mutex
+	importQ     []sharedClause
+	importLimit int
+	learnCB     func(lits []int, lbd int)
+	learnMaxLen int
+	learnMaxLBD int
+}
+
+// sharedClause is a learned clause in transit between portfolio
+// members, in DIMACS literal form.
+type sharedClause struct {
+	lits []int
+	lbd  int
 }
 
 // New returns an empty solver with default options.
@@ -156,10 +205,14 @@ func New() *Solver { return NewWithOptions(Options{}) }
 // NewWithOptions returns an empty solver with the given feature set.
 func NewWithOptions(opts Options) *Solver {
 	s := &Solver{
-		opts:      opts,
-		varInc:    1,
-		claInc:    1,
-		learntCap: 4000,
+		opts:        opts,
+		varInc:      1,
+		claInc:      1,
+		learntCap:   4000,
+		importLimit: 4096,
+	}
+	if opts.Seed != 0 || opts.RandomVarFreq > 0 || opts.InitialPhase == PhaseRandom {
+		s.rng = rand.New(rand.NewSource(opts.Seed))
 	}
 	s.heap.activity = &s.activity
 	return s
@@ -176,7 +229,17 @@ func (s *Solver) NewVar() int {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
-	s.polarity = append(s.polarity, true) // default: try false first
+	// polarity true = try false first (the classic default).
+	pol := true
+	switch s.opts.InitialPhase {
+	case PhaseTrue:
+		pol = false
+	case PhaseRandom:
+		if s.rng != nil {
+			pol = s.rng.Intn(2) == 0
+		}
+	}
+	s.polarity = append(s.polarity, pol)
 	s.seen = append(s.seen, false)
 	s.lbdSeen = append(s.lbdSeen, 0)
 	s.heap.insert(s.numVars - 1)
@@ -185,6 +248,153 @@ func (s *Solver) NewVar() int {
 
 // Stats returns work counters accumulated so far.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// Interrupt asks the running (or next) Solve to stop. It is safe to
+// call from any goroutine; the search loop polls the flag every 256
+// conflicts and returns Unknown with the solver left reusable. The
+// flag is consumed by the Solve call that observes it.
+func (s *Solver) Interrupt() { atomic.StoreInt32(&s.interrupt, 1) }
+
+// ClearInterrupt discards a pending interrupt that no Solve consumed
+// (e.g. a portfolio cancellation that raced with a solver finishing on
+// its own budget).
+func (s *Solver) ClearInterrupt() { atomic.StoreInt32(&s.interrupt, 0) }
+
+// Interrupted reports whether an interrupt is pending.
+func (s *Solver) Interrupted() bool { return atomic.LoadInt32(&s.interrupt) != 0 }
+
+// SolveContext is Solve with context cancellation: when ctx is done
+// the solver is interrupted and Unknown is returned promptly.
+func (s *Solver) SolveContext(ctx context.Context, assumptions ...int) Status {
+	if err := ctx.Err(); err != nil {
+		return Unknown
+	}
+	done := make(chan struct{})
+	watcherGone := make(chan struct{})
+	go func() {
+		defer close(watcherGone)
+		select {
+		case <-ctx.Done():
+			s.Interrupt()
+		case <-done:
+		}
+	}()
+	st := s.Solve(assumptions...)
+	close(done)
+	<-watcherGone
+	if st == Unknown {
+		// Consume an interrupt the watcher set after Solve returned.
+		s.ClearInterrupt()
+	}
+	return st
+}
+
+// SetLearnCallback registers cb to receive learned clauses (DIMACS
+// literals, asserting literal first) that have at most maxLen literals
+// or LBD at most maxLBD. The callback runs synchronously on the
+// solving goroutine; it must not call back into this solver. A nil cb
+// disables export.
+func (s *Solver) SetLearnCallback(maxLen, maxLBD int, cb func(lits []int, lbd int)) {
+	s.learnMaxLen, s.learnMaxLBD, s.learnCB = maxLen, maxLBD, cb
+}
+
+// SetImportLimit bounds the pending-import queue; clauses arriving
+// while the queue is full are dropped (sharing is best-effort). The
+// default is 4096.
+func (s *Solver) SetImportLimit(n int) {
+	s.importMu.Lock()
+	s.importLimit = n
+	s.importMu.Unlock()
+}
+
+// ImportClause queues a clause learned by another solver over the same
+// formula for injection at the next decision-level-0 point. It is safe
+// to call from any goroutine; the literals are in DIMACS form and the
+// slice is only read, never written, so one slice may be shared across
+// several importing solvers.
+func (s *Solver) ImportClause(lits []int, lbd int) {
+	s.importMu.Lock()
+	if len(s.importQ) < s.importLimit {
+		s.importQ = append(s.importQ, sharedClause{lits, lbd})
+	}
+	s.importMu.Unlock()
+}
+
+// hasImports reports whether imported clauses are waiting (owner
+// goroutine only; used to decide whether a restart should fall all the
+// way back to level 0).
+func (s *Solver) hasImports() bool {
+	s.importMu.Lock()
+	n := len(s.importQ)
+	s.importMu.Unlock()
+	return n > 0
+}
+
+// drainImports attaches pending imported clauses. Must be called at
+// decision level 0. Returns false if an import proves the formula
+// unsatisfiable (sound because imports are implied by the shared
+// problem clauses).
+func (s *Solver) drainImports() bool {
+	s.importMu.Lock()
+	pending := s.importQ
+	s.importQ = nil
+	s.importMu.Unlock()
+	for _, sc := range pending {
+		lits := make([]lit, 0, len(sc.lits))
+		satisfied := false
+		for _, x := range sc.lits {
+			l := s.extToLit(x)
+			switch s.value(l) {
+			case lTrue:
+				satisfied = true
+			case lFalse:
+				// false at level 0: drop the literal
+			default:
+				lits = append(lits, l)
+			}
+			if satisfied {
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		switch len(lits) {
+		case 0:
+			s.unsat = true
+			return false
+		case 1:
+			s.uncheckedEnqueue(lits[0], nil)
+			if s.propagate() != nil {
+				s.unsat = true
+				return false
+			}
+		default:
+			c := &clause{lits: lits, learnt: true, lbd: int32(sc.lbd)}
+			s.learnts = append(s.learnts, c)
+			s.attach(c)
+		}
+		s.stats.Imported++
+	}
+	return true
+}
+
+// export hands a freshly learned clause to the exchange callback if it
+// passes the sharing filter.
+func (s *Solver) export(lits []lit, lbd int32) {
+	if s.learnCB == nil {
+		return
+	}
+	if len(lits) > s.learnMaxLen && int(lbd) > s.learnMaxLBD {
+		return
+	}
+	ext := make([]int, len(lits))
+	for i, l := range lits {
+		ext[i] = s.extLit(l)
+	}
+	s.stats.Exported++
+	s.learnCB(ext, int(lbd))
+}
 
 func (s *Solver) value(l lit) lbool {
 	v := s.assigns[l.vari()]
@@ -552,6 +762,12 @@ func sortClausesByActivity(cs []*clause) {
 }
 
 func (s *Solver) pickBranchLit() lit {
+	if s.rng != nil && s.opts.RandomVarFreq > 0 && s.numVars > 0 &&
+		s.rng.Float64() < s.opts.RandomVarFreq {
+		if v := int32(s.rng.Intn(int(s.numVars))); s.assigns[v] == lUndef {
+			return mkLit(v, s.polarity[v])
+		}
+	}
 	if s.opts.NoVSIDS {
 		for v := int32(0); v < s.numVars; v++ {
 			if s.assigns[v] == lUndef {
@@ -594,20 +810,42 @@ func (s *Solver) Solve(assumptions ...int) Status {
 		return Unsat
 	}
 	s.cancelUntil(0)
+	if !s.drainImports() {
+		return Unsat
+	}
+	if s.Interrupted() {
+		s.ClearInterrupt()
+		return Unknown
+	}
 	assume := make([]lit, 0, len(assumptions))
 	for _, a := range assumptions {
 		assume = append(assume, s.extToLit(a))
 	}
 
-	var deadline time.Time
+	// Timeout is sugar over the interrupt flag: one timer, no
+	// time.Now() polling on the hot path. A timer that fired just as
+	// this call returns must not abort the next Solve.
 	if s.opts.Timeout > 0 {
-		deadline = time.Now().Add(s.opts.Timeout)
+		timer := time.AfterFunc(s.opts.Timeout, s.Interrupt)
+		defer func() {
+			if !timer.Stop() {
+				s.ClearInterrupt()
+			}
+		}()
 	}
 	startConflicts := s.stats.Conflicts
+	restartUnit := s.opts.RestartBase
+	if restartUnit <= 0 {
+		restartUnit = 100
+	}
+	varDecay := s.opts.VarDecay
+	if varDecay <= 0 || varDecay >= 1 {
+		varDecay = 0.95
+	}
 	restartNum := int64(0)
 	conflictsUntilRestart := func() int64 {
 		restartNum++
-		return 100 * luby(restartNum)
+		return restartUnit * luby(restartNum)
 	}
 	budget := conflictsUntilRestart()
 
@@ -627,6 +865,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
+				s.export(learnt, 1)
 			} else {
 				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
 				s.learnts = append(s.learnts, c)
@@ -634,11 +873,13 @@ func (s *Solver) Solve(assumptions ...int) Status {
 				s.bumpClause(c)
 				s.uncheckedEnqueue(learnt[0], c)
 				s.stats.Learned++
+				s.export(learnt, c.lbd)
 			}
-			s.varInc /= 0.95
+			s.varInc /= varDecay
 			s.claInc /= 0.999
 			budget--
-			if !deadline.IsZero() && s.stats.Conflicts%256 == 0 && time.Now().After(deadline) {
+			if s.stats.Conflicts&255 == 0 && s.Interrupted() {
+				s.ClearInterrupt()
 				s.cancelUntil(0)
 				return Unknown
 			}
@@ -651,7 +892,16 @@ func (s *Solver) Solve(assumptions ...int) Status {
 
 		if budget <= 0 && !s.opts.NoRestarts && s.decisionLevel() > int32(len(assume)) {
 			s.stats.Restarts++
-			s.cancelUntil(int32(len(assume)))
+			restartLevel := int32(len(assume))
+			if s.hasImports() {
+				// Fall back to level 0 so foreign clauses can be
+				// attached; pending assumptions are re-applied below.
+				restartLevel = 0
+			}
+			s.cancelUntil(restartLevel)
+			if restartLevel == 0 && !s.drainImports() {
+				return Unsat
+			}
 			budget = conflictsUntilRestart()
 		}
 		if len(s.learnts) > s.learntCap {
