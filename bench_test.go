@@ -146,6 +146,22 @@ func attackFormula(faults int) *cnf.Formula {
 	return b.Formula()
 }
 
+// BenchmarkSolveAttackInstance — the single-solver attack benchmark
+// the clause-arena perf work is gated on: one fixed satisfiable
+// SHA3-512 byte-model instance, solved from scratch by one CDCL
+// solver. Trajectory recorded in BENCH_solver.json / EXPERIMENTS.md §P2.
+func BenchmarkSolveAttackInstance(b *testing.B) {
+	form := attackFormula(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sat.FromFormula(form, sat.Options{})
+		if st := s.Solve(); st != sat.Sat {
+			b.Fatalf("single solver: %v", st)
+		}
+	}
+}
+
 // BenchmarkPortfolioVsSingle — one attack CNF, solved by the classic
 // single solver and by portfolios of increasing size. The ratio of the
 // single/portfolio times is recorded in EXPERIMENTS.md; on a

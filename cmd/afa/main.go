@@ -11,13 +11,17 @@
 //	afa -portfolio 4 -v -mode SHA3-512 -model byte
 //
 // -portfolio N races N diversified SAT solvers with clause sharing on
-// every solve; -workers N parallelizes experiment repetitions.
+// every solve; -workers N parallelizes experiment repetitions;
+// -preprocess simplifies each clause batch before it reaches the
+// solver; -cpuprofile/-memprofile write runtime/pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"sha3afa/internal/campaign"
@@ -27,6 +31,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main so profile flushing happens on every exit
+// path (os.Exit inside main would skip the deferred stop).
+func run() int {
 	modeName := flag.String("mode", "SHA3-512", "SHA-3 mode to attack")
 	modelName := flag.String("model", "byte", "fault model: 1-bit, byte, 16-bit, 32-bit")
 	seed := flag.Int64("seed", 1, "campaign seed (message and fault stream)")
@@ -36,30 +46,36 @@ func main() {
 	seeds := flag.Int("seeds", 3, "seeds per cell for -experiment")
 	workers := flag.Int("workers", 1, "parallel campaign repetitions (experiments)")
 	members := flag.Int("portfolio", 0, "race N diversified SAT solvers per solve (0/1 = single)")
+	preprocess := flag.Bool("preprocess", false, "simplify each clause batch (units/subsumption/strengthening) before solving")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
 	verbose := flag.Bool("v", false, "print per-solver statistics")
 	flag.Parse()
+
+	stopProf := startProfiles(*cpuprofile, *memprofile)
+	defer stopProf()
 
 	campaign.SetWorkers(*workers)
 
 	if *experiment != "" {
-		runExperiment(*experiment, *seeds)
-		return
+		return runExperiment(*experiment, *seeds)
 	}
 
 	mode, err := keccak.ParseMode(*modeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	model, err := fault.Parse(*modelName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := core.DefaultConfig(mode, model)
 	cfg.KnownPosition = *knownPos
 	cfg.Portfolio = *members
+	cfg.Preprocess = *preprocess
 	if cfg.Portfolio > 1 {
 		fmt.Printf("AFA on %s under the %s fault model (seed %d, budget %d faults, portfolio of %d solvers)\n",
 			mode, model, *seed, *maxFaults, cfg.Portfolio)
@@ -80,16 +96,50 @@ func main() {
 	if !run.Recovered {
 		fmt.Printf("NOT RECOVERED within %d faults (%v elapsed, %v solving)\n",
 			run.FaultsUsed, run.TotalTime.Round(time.Millisecond), run.SolveTime.Round(time.Millisecond))
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("RECOVERED the 1600-bit χ input of round 22 after %d faults\n", run.FaultsUsed)
 	fmt.Printf("  wall clock %v (SAT %v), final CNF %d vars / %d clauses\n",
 		run.TotalTime.Round(time.Millisecond), run.SolveTime.Round(time.Millisecond), run.Vars, run.Clauses)
 	fmt.Printf("  message block recovered: %v\n", run.MessageOK)
 	fmt.Printf("  faults identified exactly: %d/%d\n", run.FaultsIdent, run.FaultsUsed)
+	return 0
 }
 
-func runExperiment(name string, seeds int) {
+// startProfiles arms the requested pprof outputs and returns the stop
+// function that flushes them.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}
+}
+
+func runExperiment(name string, seeds int) int {
 	w := os.Stdout
 	switch name {
 	case "t1":
@@ -122,6 +172,7 @@ func runExperiment(name string, seeds int) {
 		campaign.TableStarvation(w, 2000)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,210 @@
+// Command benchjson measures the solver benchmark trajectory and
+// writes it as machine-readable JSON (BENCH_solver.json). It re-runs
+// the same workloads as the testing benchmarks — a propagation-heavy
+// pigeonhole instance, a planted random 3-SAT instance, the fixed
+// attack CNF behind BenchmarkSolveAttackInstance, and the clause-
+// sharing portfolio — through testing.Benchmark so ns/op, bytes/op
+// and allocs/op are measured the standard way.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_solver.json        # full run
+//	go run ./cmd/benchjson -short -out BENCH_ci.json     # CI smoke
+//
+// -short drops the attack-CNF workloads (minutes of solving) so CI
+// can validate the harness and the JSON schema in seconds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sha3afa/internal/cnf"
+	"sha3afa/internal/core"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/portfolio"
+	"sha3afa/internal/sat"
+)
+
+// benchResult is one row of the trajectory file.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	NumCPU    int           `json:"num_cpu"`
+	Short     bool          `json:"short"`
+	Results   []benchResult `json:"results"`
+}
+
+func main() {
+	short := flag.Bool("short", false, "skip the attack-CNF workloads (CI smoke)")
+	out := flag.String("out", "BENCH_solver.json", "output JSON path")
+	flag.Parse()
+
+	var results []benchResult
+	measure := func(name string, fn func(b *testing.B)) {
+		fmt.Fprintf(os.Stderr, "running %s ...\n", name)
+		r := testing.Benchmark(fn)
+		results = append(results, benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "  %d iters, %.3fms/op, %d B/op, %d allocs/op\n",
+			r.N, float64(r.T.Nanoseconds())/float64(r.N)/1e6, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	php := pigeonhole(7)
+	measure("PropagatePigeonhole7", solveBench(php, sat.Unsat))
+
+	planted := planted3SAT(600, 2400, 11)
+	measure("Planted3SAT600", solveBench(planted, sat.Sat))
+
+	if !*short {
+		attack := attackFormula(8)
+		measure("SolveAttackInstance", solveBench(attack, sat.Sat))
+		measure("PortfolioAttack2", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := portfolio.Solve(attack, portfolio.Options{Workers: 2})
+				if res.Status != sat.Sat {
+					b.Fatalf("portfolio: %v", res.Status)
+				}
+			}
+		})
+	} else {
+		measure("PortfolioPlanted2", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := portfolio.Solve(planted, portfolio.Options{Workers: 2})
+				if res.Status != sat.Sat {
+					b.Fatalf("portfolio: %v", res.Status)
+				}
+			}
+		})
+	}
+
+	file := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Short:     *short,
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+// solveBench returns a benchmark that solves the formula from scratch
+// each iteration and checks the expected status.
+func solveBench(f *cnf.Formula, want sat.Status) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := sat.FromFormula(f, sat.Options{})
+			if st := s.Solve(); st != want {
+				b.Fatalf("status = %v, want %v", st, want)
+			}
+		}
+	}
+}
+
+// pigeonhole builds PHP(n+1, n): n+1 pigeons into n holes, UNSAT and
+// dominated by binary at-most-one clauses — the propagation-heavy
+// workload the arena fast path targets.
+func pigeonhole(n int) *cnf.Formula {
+	f := cnf.New()
+	v := func(p, h int) int { return p*n + h + 1 }
+	f.NewVars((n + 1) * n)
+	for p := 0; p <= n; p++ {
+		cl := make([]int, n)
+		for h := 0; h < n; h++ {
+			cl[h] = v(p, h)
+		}
+		f.AddClause(cl...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				f.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	return f
+}
+
+// planted3SAT builds a random 3-SAT instance with a planted solution,
+// so it is guaranteed satisfiable at any clause density.
+func planted3SAT(vars, clauses int, seed int64) *cnf.Formula {
+	rng := rand.New(rand.NewSource(seed))
+	plant := make([]bool, vars+1)
+	for v := 1; v <= vars; v++ {
+		plant[v] = rng.Intn(2) == 0
+	}
+	f := cnf.New()
+	f.NewVars(vars)
+	for c := 0; c < clauses; c++ {
+		var lits [3]int
+		for {
+			ok := false
+			for i := range lits {
+				v := rng.Intn(vars) + 1
+				if rng.Intn(2) == 0 {
+					lits[i] = v
+					ok = ok || plant[v]
+				} else {
+					lits[i] = -v
+					ok = ok || !plant[v]
+				}
+			}
+			if ok { // at least one literal agrees with the planted model
+				break
+			}
+		}
+		f.AddClause(lits[:]...)
+	}
+	return f
+}
+
+// attackFormula builds the fixed satisfiable SHA3-512 byte-model
+// attack instance used by BenchmarkSolveAttackInstance (same message,
+// campaign seed and fault budget).
+func attackFormula(faults int) *cnf.Formula {
+	msg := []byte("portfolio bench instance")
+	correct, injs := fault.Campaign(keccak.SHA3_512, msg, fault.Byte, 22, faults, 12000)
+	b := core.NewBuilder(core.DefaultConfig(keccak.SHA3_512, fault.Byte))
+	if err := b.AddCorrect(correct); err != nil {
+		panic(err)
+	}
+	for _, inj := range injs {
+		if err := b.AddFaulty(inj.FaultyDigest, -1); err != nil {
+			panic(err)
+		}
+	}
+	return b.Formula()
+}

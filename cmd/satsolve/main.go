@@ -4,17 +4,21 @@
 //
 // Usage:
 //
-//	satsolve [-timeout 10m] [-stats] [-portfolio N] instance.cnf
+//	satsolve [-timeout 10m] [-stats] [-portfolio N] [-preprocess] instance.cnf
 //
 // With -portfolio N the instance is raced by N diversified solvers
 // with learned-clause sharing; the first definitive answer wins and
-// -stats reports each member's work.
+// -stats reports each member's work. -preprocess runs the SatELite-
+// style simplifier before solving. -cpuprofile/-memprofile write
+// runtime/pprof profiles for perf work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"sha3afa/internal/cnf"
@@ -26,6 +30,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "solving timeout (0 = none)")
 	stats := flag.Bool("stats", false, "print solver statistics")
 	members := flag.Int("portfolio", 0, "race N diversified solvers with clause sharing (0/1 = single solver)")
+	preprocess := flag.Bool("preprocess", false, "simplify the formula (units/subsumption/strengthening) before solving")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: satsolve [flags] instance.cnf")
@@ -41,6 +48,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	stopProf := startProfiles(*cpuprofile, *memprofile)
+
+	if *preprocess {
+		start := time.Now()
+		pst := form.Preprocess()
+		if *stats {
+			fmt.Printf("c preprocess time=%v units=%d removed=%d lits=%d subsumed=%d strengthened=%d iters=%d\n",
+				time.Since(start).Round(time.Millisecond), pst.UnitsPropagated, pst.ClausesRemoved,
+				pst.LiteralsRemoved, pst.SubsumedClauses, pst.StrengthenedLits, pst.IterationsReached)
+		}
 	}
 
 	var (
@@ -73,6 +92,7 @@ func main() {
 		}
 	}
 
+	stopProf()
 	switch st {
 	case sat.Sat:
 		fmt.Println("s SATISFIABLE")
@@ -96,5 +116,38 @@ func main() {
 	default:
 		fmt.Println("s UNKNOWN")
 		os.Exit(0)
+	}
+}
+
+// startProfiles arms the requested pprof outputs and returns the stop
+// function to call before exiting (os.Exit skips defers).
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
 	}
 }

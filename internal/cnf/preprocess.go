@@ -7,6 +7,13 @@ import "sort"
 // are the classic SatELite-style rules restricted to the safe subset:
 // unit-propagation rewriting, subsumption, and self-subsuming
 // resolution (clause strengthening).
+//
+// The hot structures are dense, slice-indexed arrays rather than maps:
+// literals are small integers, so the assignment lives in a []int8
+// indexed by variable and the occurrence lists in a [][]int32 indexed
+// by literal slot (2(v−1) for v, 2(v−1)+1 for ¬v). On attack-sized
+// instances (10⁵–10⁶ literals) this removes all hashing from the
+// preprocessing loop.
 
 // PreprocessStats reports what a Preprocess call removed.
 type PreprocessStats struct {
@@ -18,35 +25,80 @@ type PreprocessStats struct {
 	IterationsReached int
 }
 
+// litSlot maps a DIMACS literal to its dense occurrence-list index.
+func litSlot(l int) int {
+	if l > 0 {
+		return 2 * (l - 1)
+	}
+	return 2*(-l-1) + 1
+}
+
 // Preprocess simplifies the formula in place. The transformation is
 // equisatisfiable and model-preserving over the remaining variables:
 // unit clauses are kept (so models can be read off), satisfied clauses
 // are dropped, falsified literals are deleted, subsumed clauses are
-// removed and self-subsuming resolution strengthens clauses. Returns
-// statistics.
+// removed and self-subsuming resolution strengthens clauses. When the
+// unit clauses are contradictory the formula is closed with an
+// explicit empty clause (both sides are unsatisfiable, so equivalence
+// is trivial). Returns statistics.
 func (f *Formula) Preprocess() PreprocessStats {
 	var st PreprocessStats
+	n := f.numVars
+
+	// Dense assignment: 0 = unassigned, +1 = true, −1 = false.
+	val := make([]int8, n+1)
+	assigned := 0
+	contradiction := false
+	litVal := func(l int) int8 {
+		if l > 0 {
+			return val[l]
+		}
+		return -val[-l]
+	}
+	assign := func(l int) {
+		v, sign := l, int8(1)
+		if l < 0 {
+			v, sign = -l, -1
+		}
+		switch val[v] {
+		case 0:
+			val[v] = sign
+			assigned++
+		case sign:
+		default:
+			contradiction = true
+		}
+	}
+
+	// Dense occurrence lists, allocated once and truncated per
+	// iteration.
+	occ := make([][]int32, 2*n)
+	var removed []bool
+
 	for iter := 0; iter < 10; iter++ {
 		st.IterationsReached = iter + 1
 		changed := false
 
 		// --- Unit propagation rewriting ---
-		val := map[int]bool{} // literal -> true
 		for _, c := range f.clauses {
 			if len(c) == 1 {
-				val[c[0]] = true
+				assign(c[0])
 			}
 		}
-		if len(val) > 0 {
+		if contradiction {
+			f.clauses = append(f.clauses, []int{})
+			return st
+		}
+		if assigned > 0 {
 			kept := f.clauses[:0]
 			for _, c := range f.clauses {
 				sat := false
 				out := c[:0]
 				for _, l := range c {
-					switch {
-					case val[l]:
+					switch litVal(l) {
+					case 1:
 						sat = true
-					case val[-l]:
+					case -1:
 						st.LiteralsRemoved++
 						changed = true
 						continue
@@ -66,28 +118,41 @@ func (f *Formula) Preprocess() PreprocessStats {
 					continue
 				}
 				kept = append(kept, out)
-				if len(out) == 1 && !val[out[0]] {
-					val[out[0]] = true
+				if len(out) == 1 && litVal(out[0]) == 0 {
+					assign(out[0])
 					st.UnitsPropagated++
 					changed = true
 				}
 			}
 			f.clauses = kept
+			if contradiction {
+				f.clauses = append(f.clauses, []int{})
+				return st
+			}
 		}
 
 		// --- Subsumption and self-subsuming resolution ---
-		// Sort literals and index clauses by their shortest literal's
-		// occurrence list to keep the pairwise check near-linear.
+		// Sort literals and index clauses by occurrence list to keep
+		// the pairwise check near-linear.
 		for _, c := range f.clauses {
 			sort.Ints(c)
 		}
-		occ := map[int][]int{} // literal -> clause indices
+		for i := range occ {
+			occ[i] = occ[i][:0]
+		}
 		for i, c := range f.clauses {
 			for _, l := range c {
-				occ[l] = append(occ[l], i)
+				occ[litSlot(l)] = append(occ[litSlot(l)], int32(i))
 			}
 		}
-		removed := make([]bool, len(f.clauses))
+		if cap(removed) < len(f.clauses) {
+			removed = make([]bool, len(f.clauses))
+		} else {
+			removed = removed[:len(f.clauses)]
+			for i := range removed {
+				removed[i] = false
+			}
+		}
 		for i, c := range f.clauses {
 			if removed[i] || len(c) == 0 {
 				continue
@@ -95,8 +160,8 @@ func (f *Formula) Preprocess() PreprocessStats {
 			// Candidate superset clauses share c's first literal (for
 			// subsumption) or its negation (for strengthening).
 			for _, l := range c {
-				for _, j := range occ[l] {
-					if j == i || removed[j] {
+				for _, j := range occ[litSlot(l)] {
+					if int(j) == i || removed[j] {
 						continue
 					}
 					d := f.clauses[j]
@@ -110,10 +175,10 @@ func (f *Formula) Preprocess() PreprocessStats {
 					}
 				}
 				// Self-subsuming resolution: if c \ {l} ∪ {-l} ⊆ d,
-				// then l... — resolve c with d on l, strengthening d
-				// by removing -l.
-				for _, j := range occ[-l] {
-					if j == i || removed[j] {
+				// then resolve c with d on l, strengthening d by
+				// removing -l.
+				for _, j := range occ[litSlot(-l)] {
+					if int(j) == i || removed[j] {
 						continue
 					}
 					d := f.clauses[j]

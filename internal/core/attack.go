@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"sha3afa/internal/cnf"
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
 	"sha3afa/internal/portfolio"
@@ -111,9 +112,32 @@ func (a *Attack) AddInjection(inj fault.Injection) error {
 }
 
 // sync pushes clauses added to the formula since the last call into
-// the incremental solver.
+// the incremental solver. With cfg.Preprocess the pending batch is
+// simplified first: only clauses not yet pushed are preprocessed (as
+// one sub-formula over the same variable space), which keeps the
+// incremental stream sound — the simplified batch is logically
+// equivalent to the original batch, and clauses already inside the
+// solver are never rewritten retroactively.
 func (a *Attack) sync() error {
 	cls := a.builder.Formula().Clauses()
+	if a.cfg.Preprocess {
+		if a.pushed == len(cls) {
+			return nil
+		}
+		batch := cnf.New()
+		batch.NewVars(a.builder.Formula().NumVars())
+		for _, c := range cls[a.pushed:] {
+			batch.AddClause(c...)
+		}
+		a.pushed = len(cls)
+		batch.Preprocess()
+		for _, c := range batch.Clauses() {
+			if err := a.solver.AddClause(c...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for ; a.pushed < len(cls); a.pushed++ {
 		if err := a.solver.AddClause(cls[a.pushed]...); err != nil {
 			return err

@@ -42,6 +42,14 @@ type Config struct {
 	// *first* satisfying model found may differ between runs, so the
 	// candidate enumeration order can vary.
 	Portfolio int
+	// Preprocess runs the cnf package's SatELite-style simplifications
+	// (unit rewriting, subsumption, self-subsuming resolution) over
+	// every batch of clauses before it is pushed into the solver, so
+	// the solver only ever sees the strengthened formula. Each
+	// AddFaulty round's new clauses are preprocessed in isolation —
+	// the simplified batch is equivalent to the original batch, so
+	// incremental soundness is preserved (see Attack.sync).
+	Preprocess bool
 	// UniquenessCheck switches Solve to the information-theoretic
 	// criterion: recovery is declared only when the SAT model is
 	// provably unique. This is the probe used by the information-

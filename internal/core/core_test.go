@@ -279,6 +279,46 @@ func TestKnownPositionRecovery(t *testing.T) {
 	t.Fatal("not recovered with known positions after 40 faults")
 }
 
+// TestPreprocessedAttackRecovery runs the attack with cfg.Preprocess
+// set, so every clause batch passes through the SatELite-style
+// simplifier before reaching the solver (see Attack.sync). Recovery
+// must still converge to the ground-truth state: preprocessing may
+// only strengthen the formula, never change its models over α.
+func TestPreprocessedAttackRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	msg := []byte("preprocessed attack")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, 40, 7)
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	cfg := DefaultConfig(mode, fault.Byte)
+	cfg.KnownPosition = true // keep the instance small: this test is about the preprocess path
+	cfg.Preprocess = true
+	atk := NewAttack(cfg)
+	if err := atk.AddCorrect(correct); err != nil {
+		t.Fatal(err)
+	}
+	for i, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+		res, err := atk.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == Recovered {
+			if !res.ChiInput.Equal(&truth) {
+				t.Fatal("preprocessed attack recovered wrong state")
+			}
+			t.Logf("preprocessed recovery after %d faults", i+1)
+			return
+		}
+	}
+	t.Fatal("not recovered with preprocessing after 40 faults")
+}
+
 func TestInconsistentObservations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("solver test skipped in -short mode")

@@ -1,0 +1,126 @@
+package sat
+
+import "math"
+
+// Clause arena: every clause with three or more literals lives in one
+// flat []lit slab and is addressed by a cref — the int32 index of its
+// header word. This removes the per-clause allocation and the pointer
+// chase of a []*clause store from the propagate/analyze hot loops; the
+// layout and GC scheme follow MiniSat's ClauseAllocator (see
+// DESIGN.md, "Clause arena layout").
+//
+// Layout of one clause at cref c:
+//
+//	data[c+0]  header: size<<3 | relocated<<2 | learnt<<1 | deleted
+//	data[c+1]  LBD (learnt clauses; forwarding cref while relocated)
+//	data[c+2]  activity as float32 bits (learnt clauses)
+//	data[c+3 .. c+3+size)  literals; lits[0] is the asserting literal
+//	                       when the clause is a propagation reason
+//
+// Binary clauses never enter the arena at all: they are stored inline
+// in the dedicated binary watch lists (solver.binWatches) and encoded
+// as tagged reasons, so propagating or resolving them touches no
+// clause memory.
+
+// crefUndef marks "no clause".
+const crefUndef int32 = -1
+
+const (
+	hdrWords = 3 // header word, LBD word, activity word
+
+	flagDeleted   = 1 << 0
+	flagLearnt    = 1 << 1
+	flagRelocated = 1 << 2
+	sizeShift     = 3
+)
+
+type clauseArena struct {
+	data   []lit
+	wasted int // words occupied by deleted clauses, reclaimed by compact
+}
+
+// alloc appends a clause and returns its cref.
+func (a *clauseArena) alloc(lits []lit, learnt bool, lbd int32) int32 {
+	cr := int32(len(a.data))
+	hdr := lit(int32(len(lits)) << sizeShift)
+	if learnt {
+		hdr |= flagLearnt
+	}
+	a.data = append(a.data, hdr, lit(lbd), 0)
+	a.data = append(a.data, lits...)
+	return cr
+}
+
+func (a *clauseArena) size(c int32) int32   { return int32(a.data[c]) >> sizeShift }
+func (a *clauseArena) isLearnt(c int32) bool { return a.data[c]&flagLearnt != 0 }
+func (a *clauseArena) lbd(c int32) int32    { return int32(a.data[c+1]) }
+
+// litsOf returns the clause's literal slice (a live view into the
+// slab; element swaps are how propagate reorders watches).
+func (a *clauseArena) litsOf(c int32) []lit {
+	return a.data[c+hdrWords : c+hdrWords+a.size(c)]
+}
+
+func (a *clauseArena) activity(c int32) float32 {
+	return math.Float32frombits(uint32(a.data[c+2]))
+}
+
+func (a *clauseArena) setActivity(c int32, v float32) {
+	a.data[c+2] = lit(int32(math.Float32bits(v)))
+}
+
+// free marks the clause deleted; the words are reclaimed by the next
+// compaction. The caller must have detached its watchers first.
+func (a *clauseArena) free(c int32) {
+	a.data[c] |= flagDeleted
+	a.wasted += int(hdrWords + a.size(c))
+}
+
+// shouldCompact reports whether enough of the slab is dead to be worth
+// a copying collection (MiniSat's 20% rule).
+func (a *clauseArena) shouldCompact() bool {
+	return a.wasted > 0 && a.wasted*5 > len(a.data)
+}
+
+// compactArena performs a two-space copying collection of the clause
+// slab: every live clause — reachable from the problem list, the
+// learnt list, the watch lists, or as a propagation reason — is copied
+// into a fresh slab in list order, a forwarding cref is left in the
+// old header (LBD slot), and every cref in the solver is rewritten
+// through it. Deleted clauses are simply not copied. Watchers of
+// deleted clauses were detached when the clause was freed, so every
+// cref encountered here is live.
+func (s *Solver) compactArena() {
+	old := s.ca.data
+	newData := make([]lit, 0, len(old)-s.ca.wasted)
+	reloc := func(c int32) int32 {
+		if old[c]&flagRelocated != 0 {
+			return int32(old[c+1])
+		}
+		nc := int32(len(newData))
+		end := c + hdrWords + (int32(old[c]) >> sizeShift)
+		newData = append(newData, old[c:end]...)
+		old[c] |= flagRelocated
+		old[c+1] = lit(nc)
+		return nc
+	}
+	for i, c := range s.clauses {
+		s.clauses[i] = reloc(c)
+	}
+	for i, c := range s.learnts {
+		s.learnts[i] = reloc(c)
+	}
+	for p := range s.watches {
+		ws := s.watches[p]
+		for i := range ws {
+			ws[i].cr = reloc(ws[i].cr)
+		}
+	}
+	for v := int32(0); v < s.numVars; v++ {
+		if r := s.reason[v]; r >= 0 && !isBinReason(r) {
+			s.reason[v] = clauseReason(reloc(r >> 1))
+		}
+	}
+	s.ca.data = newData
+	s.ca.wasted = 0
+}

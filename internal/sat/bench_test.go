@@ -1,0 +1,25 @@
+package sat
+
+import (
+	"testing"
+)
+
+// BenchmarkPropagateArena measures the propagation-dominated hot loop
+// on the clause shape the attack encoder emits: pigeonhole instances
+// are almost entirely pairwise AtMostOne binaries, so nearly every
+// propagation and conflict walks binary clauses. This is the benchmark
+// the clause-arena + binary-watch work is gated on (EXPERIMENTS.md §P2).
+func BenchmarkPropagateArena(b *testing.B) {
+	f := pigeonhole(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	props := int64(0)
+	for i := 0; i < b.N; i++ {
+		s := FromFormula(f, Options{})
+		if st := s.Solve(); st != Unsat {
+			b.Fatalf("got %v", st)
+		}
+		props = s.Stats().Propagations
+	}
+	b.ReportMetric(float64(props), "props")
+}

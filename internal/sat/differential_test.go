@@ -1,0 +1,278 @@
+package sat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sha3afa/internal/cnf"
+)
+
+// satisfyingMasks enumerates every assignment of f (nVars small) and
+// returns the set of satisfying assignments as bitmasks (bit v-1 =
+// variable v). It is the reference path for the differential test:
+// pure enumeration, sharing no code with the CDCL engine.
+func satisfyingMasks(f *cnf.Formula, nVars int) []uint32 {
+	var out []uint32
+	for m := uint32(0); m < 1<<nVars; m++ {
+	clauseLoop:
+		for _, c := range f.Clauses() {
+			for _, l := range c {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				bit := m>>(v-1)&1 == 1
+				if (l > 0) == bit {
+					continue clauseLoop // clause satisfied
+				}
+			}
+			goto falsified
+		}
+		out = append(out, m)
+	falsified:
+	}
+	return out
+}
+
+// maskConsistent reports whether mask agrees with every assumption
+// literal.
+func maskConsistent(mask uint32, assumptions []int) bool {
+	for _, a := range assumptions {
+		v := a
+		if v < 0 {
+			v = -v
+		}
+		if (mask>>(v-1)&1 == 1) != (a > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// messyFormula generates a small random CNF deliberately covering the
+// AddClause edge cases: unit clauses, duplicate literals inside a
+// clause, and tautological clauses.
+func messyFormula(rng *rand.Rand, nVars int) *cnf.Formula {
+	f := cnf.New()
+	f.NewVars(nVars)
+	nClauses := 1 + rng.Intn(6*nVars)
+	for i := 0; i < nClauses; i++ {
+		w := 1 + rng.Intn(4) // width 1..4: units are common
+		c := make([]int, 0, w+2)
+		for j := 0; j < w; j++ {
+			v := 1 + rng.Intn(nVars)
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c = append(c, v)
+		}
+		if rng.Intn(4) == 0 { // duplicate an existing literal
+			c = append(c, c[rng.Intn(len(c))])
+		}
+		if rng.Intn(6) == 0 { // make the clause a tautology
+			l := c[rng.Intn(len(c))]
+			c = append(c, -l)
+		}
+		f.AddClause(c...)
+	}
+	return f
+}
+
+// TestDifferentialAgainstEnumeration drives the arena-backed solver
+// over ~200 random messy CNFs, each queried incrementally under
+// several assumption sets, and checks every answer against exhaustive
+// enumeration. This is the agreement proof for the clause-arena
+// rewrite: same Sat/Unsat answers, and every claimed model actually
+// satisfies formula and assumptions.
+func TestDifferentialAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 200; trial++ {
+		nVars := 3 + rng.Intn(10)
+		f := messyFormula(rng, nVars)
+		models := satisfyingMasks(f, nVars)
+
+		s := FromFormula(f, Options{})
+		// First an unconditional solve, then several assumption sets on
+		// the same solver so learned clauses and the arena persist
+		// across queries.
+		queries := make([][]int, 1, 4)
+		queries[0] = nil
+		for q := 0; q < 3; q++ {
+			var as []int
+			for v := 1; v <= nVars; v++ {
+				if rng.Intn(3) == 0 {
+					if rng.Intn(2) == 0 {
+						as = append(as, v)
+					} else {
+						as = append(as, -v)
+					}
+				}
+			}
+			queries = append(queries, as)
+		}
+
+		for qi, as := range queries {
+			want := false
+			for _, m := range models {
+				if maskConsistent(m, as) {
+					want = true
+					break
+				}
+			}
+			st := s.Solve(as...)
+			if (st == Sat) != want {
+				t.Fatalf("trial %d query %d (%v): solver=%v enumeration-sat=%v",
+					trial, qi, as, st, want)
+			}
+			if st == Sat {
+				model := s.Model()
+				if !f.Eval(model) {
+					t.Fatalf("trial %d query %d: model does not satisfy formula", trial, qi)
+				}
+				for _, a := range as {
+					v := a
+					if v < 0 {
+						v = -v
+					}
+					if model[v] != (a > 0) {
+						t.Fatalf("trial %d query %d: model violates assumption %d", trial, qi, a)
+					}
+				}
+			} else {
+				// The failed-assumption core must be a subset of the
+				// assumptions and itself unsatisfiable with the formula.
+				core := s.FailedAssumptions()
+				inAs := make(map[int]bool, len(as))
+				for _, a := range as {
+					inAs[a] = true
+				}
+				for _, a := range core {
+					if !inAs[a] {
+						t.Fatalf("trial %d query %d: failed assumption %d not assumed", trial, qi, a)
+					}
+				}
+				for _, m := range models {
+					if maskConsistent(m, core) {
+						t.Fatalf("trial %d query %d: failed-assumption core %v is not a core", trial, qi, core)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestArenaGCStress interleaves everything that moves clauses through
+// the arena: a tiny learnt cap forces reduceDB (and with it arena
+// free + compaction) constantly, a concurrent goroutine injects
+// implied clauses via ImportClause while Solve runs, and incremental
+// AddClause calls land between solves. Every query is built from a
+// planted model, so the expected answer (Sat, and a model consistent
+// with the formula) is known throughout. Run under -race this also
+// checks the import queue locking against the arena mutation paths.
+func TestArenaGCStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 400
+	planted := make([]bool, n+1)
+	for v := 1; v <= n; v++ {
+		planted[v] = rng.Intn(2) == 1
+	}
+	f := cnf.New()
+	f.NewVars(n)
+	for i := 0; i < 4*n; i++ {
+		c := make([]int, 3)
+		for {
+			ok := false
+			for j := range c {
+				v := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c[j] = v
+				if planted[absInt(v)] == (v > 0) {
+					ok = true
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		f.AddClause(c...)
+	}
+
+	s := FromFormula(f, Options{})
+	s.learntCap = 15 // force reduceDB (and arena GC) almost every restart
+
+	// Importer: supersets of original clauses are implied by the
+	// formula, so injecting them never changes satisfiability.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		irng := rand.New(rand.NewSource(78))
+		cls := f.Clauses()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			base := cls[irng.Intn(len(cls))]
+			c := append([]int(nil), base...)
+			for k := 0; k < 1+irng.Intn(3); k++ {
+				v := 1 + irng.Intn(n)
+				if irng.Intn(2) == 0 {
+					v = -v
+				}
+				c = append(c, v)
+			}
+			s.ImportClause(c, len(c))
+		}
+	}()
+
+	cls := f.Clauses()
+	for iter := 0; iter < 25; iter++ {
+		// Prime the import queue synchronously so Solve's level-0 drain
+		// always has work, independent of goroutine scheduling (the
+		// concurrent importer above supplies the race coverage).
+		for k := 0; k < 10; k++ {
+			base := cls[rng.Intn(len(cls))]
+			c := append(append([]int(nil), base...), 1+rng.Intn(n))
+			s.ImportClause(c, len(c))
+		}
+		// Assume a few literals of the planted model: stays Sat.
+		var as []int
+		for k := 0; k < 5; k++ {
+			v := 1 + rng.Intn(n)
+			if planted[v] {
+				as = append(as, v)
+			} else {
+				as = append(as, -v)
+			}
+		}
+		if st := s.Solve(as...); st != Sat {
+			t.Fatalf("iter %d: %v, want SAT", iter, st)
+		}
+		model := s.Model()
+		if !f.Eval(model) {
+			t.Fatalf("iter %d: invalid model after GC/import interleaving", iter)
+		}
+		// Grow the formula with another implied clause mid-stream.
+		base := cls[rng.Intn(len(cls))]
+		extra := append(append([]int(nil), base...), 1+rng.Intn(n))
+		if err := s.AddClause(extra...); err != nil {
+			t.Fatalf("iter %d: AddClause: %v", iter, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Deleted == 0 {
+		t.Fatal("stress never triggered reduceDB clause deletion — arena GC untested")
+	}
+	if st.Imported == 0 {
+		t.Fatal("stress never drained an imported clause")
+	}
+}

@@ -1,8 +1,9 @@
 // Package sat implements a CDCL (conflict-driven clause learning) SAT
-// solver from scratch: two-watched-literal propagation, first-UIP
-// conflict analysis with clause minimization, EVSIDS variable
-// activities, phase saving, Luby-sequence restarts and LBD-based
-// learned-clause database reduction.
+// solver from scratch: two-watched-literal propagation with a
+// dedicated binary-clause fast path, first-UIP conflict analysis with
+// clause minimization, EVSIDS variable activities, phase saving,
+// Luby-sequence restarts and LBD-based learned-clause database
+// reduction over an arena-backed clause store.
 //
 // The Go ecosystem has no standard SAT solver and this reproduction is
 // built offline from the standard library only, so the solver the
@@ -10,12 +11,20 @@
 // the reproduction. The external API speaks DIMACS conventions
 // (signed integer literals, variables numbered from 1) so it plugs
 // directly under the cnf package.
+//
+// Internally clauses of three or more literals live in a flat []lit
+// arena addressed by int32 crefs (see arena.go); binary clauses are
+// stored inline in per-literal binary watch lists and propagate
+// without touching clause memory at all — the attack CNFs are
+// dominated by 2–3-literal Tseitin and pairwise AtMostOne clauses,
+// so both hot loops are arranged around that shape.
 package sat
 
 import (
 	"context"
 	"errors"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,15 +89,25 @@ const (
 	lFalse lbool = -1
 )
 
-type clause struct {
-	lits     []lit
-	activity float64
-	lbd      int32
-	learnt   bool
-}
+// Propagation reasons are int32-tagged so binary clauses need no
+// clause storage: rNone for decisions/units, cref<<1 for an arena
+// clause, (other<<1)|1 for a binary clause whose remaining literal is
+// `other`. binConflict is propagate's sentinel for "the conflict is
+// the binary clause in s.binConfl".
+const (
+	rNone       int32 = -1
+	binConflict int32 = -2
+)
 
+func clauseReason(cr int32) int32 { return cr << 1 }
+func binReason(other lit) int32   { return int32(other)<<1 | 1 }
+func isBinReason(r int32) bool    { return r&1 == 1 }
+
+// watcher is one entry of a long-clause watch list; blocker is a
+// clause literal that, when already true, lets propagation skip the
+// clause without touching the arena.
 type watcher struct {
-	cl      *clause
+	cr      int32
 	blocker lit
 }
 
@@ -141,13 +160,22 @@ type Solver struct {
 	opts Options
 
 	numVars int32
-	clauses []*clause // problem clauses
-	learnts []*clause
-	watches [][]watcher // indexed by lit
+	ca      clauseArena
+	clauses []int32     // crefs of problem clauses (3+ literals)
+	learnts []int32     // crefs of learnt clauses (3+ literals)
+	watches [][]watcher // indexed by lit; long clauses only
+
+	// binWatches[p] holds, for every binary clause (¬p ∨ other), the
+	// literal `other` inline — propagating p walks this flat list and
+	// never touches clause memory. Binary clauses (problem and learnt
+	// alike) live only here and are never deleted.
+	binWatches [][]lit
+	binConfl   [2]lit // conflict-clause scratch for binary conflicts
+	binScratch [1]lit // reason scratch during analysis
 
 	assigns  []lbool // per var
 	level    []int32
-	reason   []*clause
+	reason   []int32 // tagged: rNone / clauseReason / binReason
 	trail    []lit
 	trailLim []int32
 	qhead    int
@@ -164,6 +192,11 @@ type Solver struct {
 
 	// clause activity
 	claInc float64
+
+	// AddClause duplicate/tautology detection without a per-clause map:
+	// litStamp[l] == stampCtr marks l as present in the current clause.
+	litStamp []int32
+	stampCtr int32
 
 	unsat bool // formula is UNSAT at level 0
 
@@ -225,9 +258,11 @@ func (s *Solver) NumVars() int { return int(s.numVars) }
 func (s *Solver) NewVar() int {
 	s.numVars++
 	s.watches = append(s.watches, nil, nil)
+	s.binWatches = append(s.binWatches, nil, nil)
+	s.litStamp = append(s.litStamp, 0, 0)
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, rNone)
 	s.activity = append(s.activity, 0)
 	// polarity true = try false first (the classic default).
 	pol := true
@@ -364,15 +399,17 @@ func (s *Solver) drainImports() bool {
 			s.unsat = true
 			return false
 		case 1:
-			s.uncheckedEnqueue(lits[0], nil)
-			if s.propagate() != nil {
+			s.uncheckedEnqueue(lits[0], rNone)
+			if s.propagate() != rNone {
 				s.unsat = true
 				return false
 			}
+		case 2:
+			s.attachBin(lits[0], lits[1])
 		default:
-			c := &clause{lits: lits, learnt: true, lbd: int32(sc.lbd)}
-			s.learnts = append(s.learnts, c)
-			s.attach(c)
+			cr := s.ca.alloc(lits, true, int32(sc.lbd))
+			s.learnts = append(s.learnts, cr)
+			s.attach(cr)
 		}
 		s.stats.Imported++
 	}
@@ -423,17 +460,18 @@ func (s *Solver) AddClause(ext ...int) error {
 		lits = append(lits, s.extToLit(x))
 	}
 	// Remove duplicates / satisfied-at-0 / false-at-0 literals and
-	// detect tautologies.
+	// detect tautologies, using the stamp array instead of a map.
+	s.stampCtr++
+	stamp := s.stampCtr
 	out := lits[:0]
-	seen := map[lit]bool{}
 	for _, l := range lits {
 		switch {
-		case s.value(l) == lTrue, seen[l.neg()]:
+		case s.value(l) == lTrue, s.litStamp[l.neg()] == stamp:
 			return nil // satisfied or tautology: drop the clause
-		case s.value(l) == lFalse, seen[l]:
+		case s.value(l) == lFalse, s.litStamp[l] == stamp:
 			continue
 		default:
-			seen[l] = true
+			s.litStamp[l] = stamp
 			out = append(out, l)
 		}
 	}
@@ -443,25 +481,36 @@ func (s *Solver) AddClause(ext ...int) error {
 		s.unsat = true
 		return nil
 	case 1:
-		s.uncheckedEnqueue(lits[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(lits[0], rNone)
+		if s.propagate() != rNone {
 			s.unsat = true
 		}
 		return nil
+	case 2:
+		s.attachBin(lits[0], lits[1])
+		return nil
 	}
-	c := &clause{lits: lits}
-	s.clauses = append(s.clauses, c)
-	s.attach(c)
+	cr := s.ca.alloc(lits, false, 0)
+	s.clauses = append(s.clauses, cr)
+	s.attach(cr)
 	return nil
 }
 
-func (s *Solver) attach(c *clause) {
-	l0, l1 := c.lits[0], c.lits[1]
-	s.watches[l0.neg()] = append(s.watches[l0.neg()], watcher{c, l1})
-	s.watches[l1.neg()] = append(s.watches[l1.neg()], watcher{c, l0})
+func (s *Solver) attach(cr int32) {
+	cl := s.ca.litsOf(cr)
+	l0, l1 := cl[0], cl[1]
+	s.watches[l0.neg()] = append(s.watches[l0.neg()], watcher{cr, l1})
+	s.watches[l1.neg()] = append(s.watches[l1.neg()], watcher{cr, l0})
 }
 
-func (s *Solver) uncheckedEnqueue(l lit, from *clause) {
+// attachBin records the binary clause (a ∨ b) in both binary watch
+// lists; the clause has no arena presence and is never deleted.
+func (s *Solver) attachBin(a, b lit) {
+	s.binWatches[a.neg()] = append(s.binWatches[a.neg()], b)
+	s.binWatches[b.neg()] = append(s.binWatches[b.neg()], a)
+}
+
+func (s *Solver) uncheckedEnqueue(l lit, from int32) {
 	v := l.vari()
 	if l.sign() {
 		s.assigns[v] = lFalse
@@ -473,39 +522,61 @@ func (s *Solver) uncheckedEnqueue(l lit, from *clause) {
 	s.trail = append(s.trail, l)
 }
 
-// propagate runs unit propagation from qhead; returns a conflicting
-// clause or nil.
-func (s *Solver) propagate() *clause {
+// propagate runs unit propagation from qhead. It returns rNone when a
+// fixpoint is reached without conflict, binConflict when a binary
+// clause (materialized in s.binConfl) is conflicting, or the tagged
+// cref of a conflicting arena clause. For each trail literal the flat
+// binary watch list is walked first — no clause memory is touched —
+// then the long-clause watchers.
+func (s *Solver) propagate() int32 {
+	// The arena slab never grows during propagation, so hoist it out
+	// of the loop; clause literal windows are sliced directly from it.
+	data := s.ca.data
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.stats.Propagations++
+
+		// Binary fast path: clauses (¬p ∨ other) with `other` inline.
+		np := p.neg()
+		for _, other := range s.binWatches[p] {
+			switch s.value(other) {
+			case lTrue:
+			case lFalse:
+				s.binConfl[0], s.binConfl[1] = other, np
+				s.qhead = len(s.trail)
+				return binConflict
+			default:
+				s.uncheckedEnqueue(other, binReason(np))
+			}
+		}
+
 		ws := s.watches[p]
 		kept := ws[:0]
-		var conflict *clause
+		conflict := rNone
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
 			if s.value(w.blocker) == lTrue {
 				kept = append(kept, w)
 				continue
 			}
-			c := w.cl
-			// Normalize: make lits[1] the false literal (¬p).
-			np := p.neg()
-			if c.lits[0] == np {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			base := w.cr + hdrWords
+			cl := data[base : base+(int32(data[w.cr])>>sizeShift)]
+			// Normalize: make cl[1] the false literal (¬p).
+			if cl[0] == np {
+				cl[0], cl[1] = cl[1], cl[0]
 			}
-			first := c.lits[0]
+			first := cl[0]
 			if first != w.blocker && s.value(first) == lTrue {
-				kept = append(kept, watcher{c, first})
+				kept = append(kept, watcher{w.cr, first})
 				continue
 			}
 			// Find a new watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c, first})
+			for k := 2; k < len(cl); k++ {
+				if s.value(cl[k]) != lFalse {
+					cl[1], cl[k] = cl[k], cl[1]
+					s.watches[cl[1].neg()] = append(s.watches[cl[1].neg()], watcher{w.cr, first})
 					found = true
 					break
 				}
@@ -514,22 +585,22 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, watcher{c, first})
+			kept = append(kept, watcher{w.cr, first})
 			if s.value(first) == lFalse {
-				conflict = c
+				conflict = clauseReason(w.cr)
 				// Copy remaining watchers and stop.
 				kept = append(kept, ws[i+1:]...)
 				s.qhead = len(s.trail)
 				break
 			}
-			s.uncheckedEnqueue(first, c)
+			s.uncheckedEnqueue(first, clauseReason(w.cr))
 		}
 		s.watches[p] = kept
-		if conflict != nil {
+		if conflict != rNone {
 			return conflict
 		}
 	}
-	return nil
+	return rNone
 }
 
 func (s *Solver) cancelUntil(lvl int32) {
@@ -544,7 +615,7 @@ func (s *Solver) cancelUntil(lvl int32) {
 			s.polarity[v] = l.sign()
 		}
 		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = rNone
 		s.heap.insertIfAbsent(v)
 	}
 	s.trail = s.trail[:bound]
@@ -563,11 +634,12 @@ func (s *Solver) bumpVar(v int32) {
 	s.heap.update(v)
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+func (s *Solver) bumpClause(cr int32) {
+	a := s.ca.activity(cr) + float32(s.claInc)
+	s.ca.setActivity(cr, a)
+	if a > 1e20 {
 		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+			s.ca.setActivity(lc, s.ca.activity(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -591,25 +663,40 @@ func (s *Solver) computeLBD(lits []lit) int32 {
 }
 
 // analyze performs first-UIP conflict analysis, returning the learnt
-// clause (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(conflict *clause) ([]lit, int32) {
+// clause (asserting literal first) and the backtrack level. confl is
+// propagate's tagged conflict: binConflict or a tagged cref. Reasons
+// are walked through the same tagged encoding, so resolving on a
+// binary clause reads its single remaining literal from the reason
+// word itself — no clause memory involved.
+func (s *Solver) analyze(confl int32) ([]lit, int32) {
 	learnt := s.analyzeTmp[:0]
 	learnt = append(learnt, 0) // placeholder for asserting literal
 	var p lit = -1
 	idx := len(s.trail) - 1
 	counter := 0
-	c := conflict
+	r := confl
 
 	for {
-		start := 0
-		if p != -1 {
-			start = 1 // skip the asserting literal of the reason
+		// cur holds the literals this clause contributes; for a reason
+		// clause the asserting literal (cl[0] == p) is skipped.
+		var cur []lit
+		switch {
+		case r == binConflict:
+			cur = s.binConfl[:]
+		case isBinReason(r):
+			s.binScratch[0] = lit(r >> 1)
+			cur = s.binScratch[:]
+		default:
+			cr := r >> 1
+			if s.ca.isLearnt(cr) {
+				s.bumpClause(cr)
+			}
+			cur = s.ca.litsOf(cr)
+			if p != -1 {
+				cur = cur[1:]
+			}
 		}
-		if c.learnt {
-			s.bumpClause(c)
-		}
-		for j := start; j < len(c.lits); j++ {
-			q := c.lits[j]
+		for _, q := range cur {
 			v := q.vari()
 			if s.seen[v] || s.level[v] == 0 {
 				continue
@@ -634,7 +721,7 @@ func (s *Solver) analyze(conflict *clause) ([]lit, int32) {
 		if counter == 0 {
 			break
 		}
-		c = s.reason[v]
+		r = s.reason[v]
 	}
 	learnt[0] = p.neg()
 
@@ -644,27 +731,32 @@ func (s *Solver) analyze(conflict *clause) ([]lit, int32) {
 	copy(toClear, learnt)
 
 	// Minimization: drop literals whose reason is subsumed by the rest
-	// of the clause (local / non-recursive form).
+	// of the clause (local / non-recursive form). The seen flags are
+	// still set for exactly the vars of learnt[1:], so they double as
+	// the marked set.
 	if !s.opts.NoMinimize {
-		marked := map[int32]bool{}
-		for _, l := range learnt {
-			marked[l.vari()] = true
-		}
 		out := learnt[:1]
 		for _, l := range learnt[1:] {
 			r := s.reason[l.vari()]
-			if r == nil {
+			if r == rNone {
 				out = append(out, l)
 				continue
 			}
 			redundant := true
-			for _, q := range r.lits {
-				if q.vari() == l.vari() {
-					continue
-				}
-				if !marked[q.vari()] && s.level[q.vari()] > 0 {
+			if isBinReason(r) {
+				q := lit(r >> 1)
+				if !s.seen[q.vari()] && s.level[q.vari()] > 0 {
 					redundant = false
-					break
+				}
+			} else {
+				for _, q := range s.ca.litsOf(r >> 1) {
+					if q.vari() == l.vari() {
+						continue
+					}
+					if !s.seen[q.vari()] && s.level[q.vari()] > 0 {
+						redundant = false
+						break
+					}
 				}
 			}
 			if redundant {
@@ -699,64 +791,64 @@ func (s *Solver) analyze(conflict *clause) ([]lit, int32) {
 	return cp, btLevel
 }
 
-// reduceDB deletes roughly half of the learned clauses, keeping low-LBD
-// and recently useful ones.
+// keepLearnt is the Glucose-style retention rule, in one place: a
+// learnt clause survives reduction unconditionally iff its LBD is at
+// most 3 or it is locked as the reason of a current assignment.
+func (s *Solver) keepLearnt(cr int32) bool {
+	return s.ca.lbd(cr) <= 3 || s.isReason(cr)
+}
+
+// reduceDB deletes roughly half of the learned clauses, keeping
+// low-LBD and recently useful ones, then compacts the arena when
+// enough of it is dead. Binary learnt clauses live outside the arena
+// and are always kept.
 func (s *Solver) reduceDB() {
 	if s.opts.NoReduce {
 		return
 	}
-	// Simple selection: keep clauses with lbd <= 3 always; sort the
-	// rest by activity and drop the lower half.
-	var keep, candidates []*clause
-	for _, c := range s.learnts {
-		if c.lbd <= 3 || s.isReason(c) {
-			keep = append(keep, c)
+	var keep, candidates []int32
+	for _, cr := range s.learnts {
+		if s.keepLearnt(cr) {
+			keep = append(keep, cr)
 		} else {
-			candidates = append(candidates, c)
+			candidates = append(candidates, cr)
 		}
 	}
-	// Insertion-sort-free partial selection: order by activity desc.
-	sortClausesByActivity(candidates)
+	// Order candidates by activity, most active first.
+	sort.Slice(candidates, func(i, j int) bool {
+		return s.ca.activity(candidates[i]) > s.ca.activity(candidates[j])
+	})
 	cut := len(candidates) / 2
-	for i, c := range candidates {
+	for i, cr := range candidates {
 		if i < cut {
-			keep = append(keep, c)
+			keep = append(keep, cr)
 		} else {
-			s.detach(c)
+			s.detach(cr)
+			s.ca.free(cr)
 			s.stats.Deleted++
 		}
 	}
 	s.learnts = keep
+	if s.ca.shouldCompact() {
+		s.compactArena()
+	}
 }
 
-func (s *Solver) isReason(c *clause) bool {
-	v := c.lits[0].vari()
-	return s.assigns[v] != lUndef && s.reason[v] == c
+func (s *Solver) isReason(cr int32) bool {
+	v := s.ca.litsOf(cr)[0].vari()
+	return s.assigns[v] != lUndef && s.reason[v] == clauseReason(cr)
 }
 
-func (s *Solver) detach(c *clause) {
-	for _, w := range []lit{c.lits[0].neg(), c.lits[1].neg()} {
+func (s *Solver) detach(cr int32) {
+	cl := s.ca.litsOf(cr)
+	for _, w := range []lit{cl[0].neg(), cl[1].neg()} {
 		ws := s.watches[w]
 		for i, wt := range ws {
-			if wt.cl == c {
+			if wt.cr == cr {
 				ws[i] = ws[len(ws)-1]
 				s.watches[w] = ws[:len(ws)-1]
 				break
 			}
-		}
-	}
-}
-
-func sortClausesByActivity(cs []*clause) {
-	// Shell sort keeps us dependency-free and is fine at this scale.
-	for gap := len(cs) / 2; gap > 0; gap /= 2 {
-		for i := gap; i < len(cs); i++ {
-			c := cs[i]
-			j := i
-			for ; j >= gap && cs[j-gap].activity < c.activity; j -= gap {
-				cs[j] = cs[j-gap]
-			}
-			cs[j] = c
 		}
 	}
 }
@@ -850,8 +942,8 @@ func (s *Solver) Solve(assumptions ...int) Status {
 	budget := conflictsUntilRestart()
 
 	for {
-		conflict := s.propagate()
-		if conflict != nil {
+		confl := s.propagate()
+		if confl != rNone {
 			s.stats.Conflicts++
 			if s.decisionLevel() == 0 {
 				s.unsat = true
@@ -861,19 +953,26 @@ func (s *Solver) Solve(assumptions ...int) Status {
 			// conflict is independent of assumptions by analyzing
 			// normally; if the backtrack level falls inside the
 			// assumption prefix we just retract to it and re-decide.
-			learnt, btLevel := s.analyze(conflict)
+			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
-			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+			switch len(learnt) {
+			case 1:
+				s.uncheckedEnqueue(learnt[0], rNone)
 				s.export(learnt, 1)
-			} else {
-				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
-				s.learnts = append(s.learnts, c)
-				s.attach(c)
-				s.bumpClause(c)
-				s.uncheckedEnqueue(learnt[0], c)
+			case 2:
+				s.attachBin(learnt[0], learnt[1])
+				s.uncheckedEnqueue(learnt[0], binReason(learnt[1]))
 				s.stats.Learned++
-				s.export(learnt, c.lbd)
+				s.export(learnt, s.computeLBD(learnt))
+			default:
+				lbd := s.computeLBD(learnt)
+				cr := s.ca.alloc(learnt, true, lbd)
+				s.learnts = append(s.learnts, cr)
+				s.attach(cr)
+				s.bumpClause(cr)
+				s.uncheckedEnqueue(learnt[0], clauseReason(cr))
+				s.stats.Learned++
+				s.export(learnt, lbd)
 			}
 			s.varInc /= varDecay
 			s.claInc /= 0.999
@@ -925,7 +1024,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 				return Unsat
 			default:
 				s.trailLim = append(s.trailLim, int32(len(s.trail)))
-				s.uncheckedEnqueue(a, nil)
+				s.uncheckedEnqueue(a, rNone)
 				continue
 			}
 		}
@@ -942,7 +1041,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 		}
 		s.stats.Decisions++
 		s.trailLim = append(s.trailLim, int32(len(s.trail)))
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, rNone)
 	}
 }
 
@@ -974,10 +1073,14 @@ func (s *Solver) analyzeFinal(p lit) []int {
 		if !s.seen[v] {
 			continue
 		}
-		if r := s.reason[v]; r == nil {
+		if r := s.reason[v]; r == rNone {
 			core = append(core, s.extLit(q))
+		} else if isBinReason(r) {
+			if o := lit(r >> 1); s.level[o.vari()] > 0 {
+				s.seen[o.vari()] = true
+			}
 		} else {
-			for _, l := range r.lits {
+			for _, l := range s.ca.litsOf(r >> 1) {
 				if s.level[l.vari()] > 0 {
 					s.seen[l.vari()] = true
 				}
