@@ -13,15 +13,22 @@
 // -portfolio N races N diversified SAT solvers with clause sharing on
 // every solve; -workers N parallelizes experiment repetitions;
 // -preprocess simplifies each clause batch before it reaches the
-// solver; -cpuprofile/-memprofile write runtime/pprof profiles.
+// solver; -noise-dud/-noise-violation degrade the simulated injector
+// and arm the guarded (noise-tolerant) attack; -checkpoint/-resume
+// make long experiment batches survive a kill; -cpuprofile/-memprofile
+// write runtime/pprof profiles. SIGINT cancels cleanly: running solves
+// are interrupted and partial tables stay flushed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"sha3afa/internal/campaign"
@@ -42,11 +49,16 @@ func run() int {
 	seed := flag.Int64("seed", 1, "campaign seed (message and fault stream)")
 	maxFaults := flag.Int("max-faults", 80, "fault budget")
 	knownPos := flag.Bool("known-position", false, "precise (non-relaxed) fault position")
-	experiment := flag.String("experiment", "", "regenerate a table/figure: t1,t2,t3,t4,f1,f2,f3,f4,a1,a2,e1,e2,c1,c2")
+	experiment := flag.String("experiment", "", "regenerate a table/figure: t1,t2,t3,t4,f1,f2,f3,f4,a1,a2,e1,e2,c1,c2,p3 (p3 = noise robustness)")
 	seeds := flag.Int("seeds", 3, "seeds per cell for -experiment")
 	workers := flag.Int("workers", 1, "parallel campaign repetitions (experiments)")
 	members := flag.Int("portfolio", 0, "race N diversified SAT solvers per solve (0/1 = single)")
 	preprocess := flag.Bool("preprocess", false, "simplify each clause batch (units/subsumption/strengthening) before solving")
+	noiseDud := flag.Float64("noise-dud", 0, "probability an injection fails outright (dud)")
+	noiseViolation := flag.Float64("noise-violation", 0, "probability an injection violates the fault model")
+	retries := flag.Int("retries", 0, "campaign re-attempts with escalated budgets after BudgetExceeded")
+	checkpoint := flag.String("checkpoint", "", "directory for per-run JSON checkpoints (experiment batches)")
+	resume := flag.Bool("resume", false, "load existing checkpoints instead of re-running (requires -checkpoint)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
 	verbose := flag.Bool("v", false, "print per-solver statistics")
@@ -55,10 +67,29 @@ func run() int {
 	stopProf := startProfiles(*cpuprofile, *memprofile)
 	defer stopProf()
 
+	noise := fault.Noise{Dud: *noiseDud, Violation: *noiseViolation}
+	if err := noise.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	// One SIGINT/SIGTERM cancels every campaign in flight: running
+	// solves are interrupted, unstarted repetitions are skipped, and
+	// already-emitted rows (and checkpoints) survive. A second signal
+	// falls back to the runtime's default hard kill.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	campaign.SetWorkers(*workers)
+	campaign.SetContext(ctx)
 
 	if *experiment != "" {
-		return runExperiment(*experiment, *seeds)
+		code := runExperiment(*experiment, *seeds, *checkpoint, *resume)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted: partial results above; re-run with -checkpoint/-resume to continue")
+			return 130
+		}
+		return code
 	}
 
 	mode, err := keccak.ParseMode(*modeName)
@@ -83,8 +114,13 @@ func run() int {
 		fmt.Printf("AFA on %s under the %s fault model (seed %d, budget %d faults)\n",
 			mode, model, *seed, *maxFaults)
 	}
+	if noise.Enabled() {
+		fmt.Printf("  injection noise: %s (guarded attack armed)\n", noise)
+	}
 	run := campaign.RunAFA(mode, model, *seed, campaign.AFAOptions{
 		MaxFaults: *maxFaults,
+		Noise:     noise,
+		Retries:   *retries,
 		Config:    &cfg,
 	})
 	if *verbose {
@@ -92,6 +128,17 @@ func run() int {
 		for _, st := range run.Solvers {
 			fmt.Printf("  %s\n", st)
 		}
+	}
+	if run.Evicted > 0 {
+		fmt.Printf("  evicted %d out-of-model observation(s), %d genuinely noisy of %d noisy fed\n",
+			run.Evicted, run.EvictedOK, run.NoisyFed)
+	}
+	if run.Retries > 0 {
+		fmt.Printf("  budget escalations: %d\n", run.Retries)
+	}
+	if run.Err != "" {
+		fmt.Printf("RUN FAILED: %s\n", run.Err)
+		return 1
 	}
 	if !run.Recovered {
 		fmt.Printf("NOT RECOVERED within %d faults (%v elapsed, %v solving)\n",
@@ -139,9 +186,12 @@ func startProfiles(cpu, mem string) func() {
 	}
 }
 
-func runExperiment(name string, seeds int) int {
+func runExperiment(name string, seeds int, checkpoint string, resume bool) int {
 	w := os.Stdout
 	switch name {
+	case "p3":
+		campaign.TableRobustness(w, seeds, 80, checkpoint, resume)
+		return 0
 	case "t1":
 		campaign.Table1(w, seeds, 80, 400)
 	case "t2":

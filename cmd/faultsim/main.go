@@ -6,6 +6,11 @@
 // Usage:
 //
 //	faultsim -mode SHA3-256 -model byte -trials 1000
+//	faultsim -model byte -noise-dud 0.1 -noise-violation 0.05
+//
+// The -noise-* flags degrade the injector the way an imperfect glitch
+// setup would (failed injections, out-of-model corruptions) and report
+// per-kind statistics alongside the diffusion histogram.
 package main
 
 import (
@@ -24,6 +29,8 @@ func main() {
 	trials := flag.Int("trials", 1000, "number of injections")
 	round := flag.Int("round", 22, "fault round (θ input)")
 	seed := flag.Int64("seed", 1, "PRNG seed")
+	noiseDud := flag.Float64("noise-dud", 0, "probability an injection fails outright (dud)")
+	noiseViolation := flag.Float64("noise-violation", 0, "probability an injection violates the fault model")
 	flag.Parse()
 
 	mode, err := keccak.ParseMode(*modeName)
@@ -36,20 +43,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	noise := fault.Noise{Dud: *noiseDud, Violation: *noiseViolation}
+	if err := noise.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	inj := fault.NewInjector(model, *seed+1)
+	inj := fault.NewNoisyInjector(model, *seed+1, noise)
 	d := mode.DigestBits()
 
 	var totalDiff, silent, minDiff, maxDiff int
+	var duds, violations, wrongRound int
 	minDiff = d + 1
 	hist := make([]int, 11) // deciles of digest difference weight
 	for i := 0; i < *trials; i++ {
 		msg := make([]byte, 1+rng.Intn(mode.RateBytes()-1))
 		rng.Read(msg)
 		correct := keccak.Sum(mode, msg)
-		delta := inj.Sample().Delta()
-		faulty := keccak.HashWithFault(mode, msg, *round, &delta)
+		_, delta, roundOff, kind := inj.SampleNoisy()
+		var faulty []byte
+		switch kind {
+		case fault.Dud:
+			duds++
+			faulty = correct
+		case fault.Violation:
+			violations++
+			if roundOff != 0 {
+				wrongRound++
+			}
+			faulty = keccak.HashWithFault(mode, msg, *round+roundOff, &delta)
+		default:
+			faulty = keccak.HashWithFault(mode, msg, *round, &delta)
+		}
 		diff := 0
 		for j := 0; j < d; j++ {
 			if keccak.DigestBitsOf(correct, j) != keccak.DigestBitsOf(faulty, j) {
@@ -72,6 +98,12 @@ func main() {
 	fmt.Printf("fault diffusion: %s, %s model, fault at θ input of round %d, %d trials\n",
 		mode, model, *round, *trials)
 	fmt.Printf("  digest bits: %d\n", d)
+	if noise.Enabled() {
+		fmt.Printf("  injection noise: %s\n", noise)
+		fmt.Printf("  duds: %d (%.1f%%), violations: %d (%.1f%%, %d wrong-round)\n",
+			duds, 100*float64(duds)/float64(*trials),
+			violations, 100*float64(violations)/float64(*trials), wrongRound)
+	}
 	fmt.Printf("  mean digest difference weight: %.1f bits (%.1f%%)\n",
 		float64(totalDiff)/float64(*trials), 100*float64(totalDiff)/float64(*trials)/float64(d))
 	fmt.Printf("  min/max difference weight: %d / %d\n", minDiff, maxDiff)

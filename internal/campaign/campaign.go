@@ -5,9 +5,11 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"sha3afa/internal/core"
@@ -17,11 +19,14 @@ import (
 	"sha3afa/internal/portfolio"
 )
 
-// AFARun is the outcome of one AFA attack campaign.
+// AFARun is the outcome of one AFA attack campaign. It is the unit of
+// checkpointing: the struct round-trips through JSON, so every field
+// must stay serializable.
 type AFARun struct {
 	Mode        keccak.Mode
 	Model       fault.Model
 	Seed        int64
+	Noise       fault.Noise // injection noise the campaign ran under
 	Recovered   bool
 	FaultsUsed  int // faults consumed until recovery (== MaxFaults when not recovered)
 	TotalTime   time.Duration
@@ -30,6 +35,19 @@ type AFARun struct {
 	Clauses     int
 	FaultsIdent int // faults whose (window,value) the final model reproduced exactly
 	MessageOK   bool
+	// Evicted counts observations the guarded attack quarantined as
+	// out-of-model; EvictedOK counts how many of those were genuinely
+	// noisy (ground truth), and NoisyFed how many noisy observations
+	// were fed in total — together they score blame accuracy.
+	Evicted   int
+	EvictedOK int
+	NoisyFed  int
+	// Retries counts budget escalations after BudgetExceeded attempts.
+	Retries int
+	// Err is non-empty when the run failed outright: a worker panic, a
+	// setup error, or cancellation. A run with Err set is never
+	// checkpointed and never counted as recovered.
+	Err string
 	// Solvers reports per-solver work: one entry for the classic
 	// solver, one per member when the attack ran a portfolio.
 	Solvers []portfolio.SolverStat
@@ -45,6 +63,22 @@ type AFAOptions struct {
 	// MinFaults defers the first solve; 0 derives the information-
 	// theoretic minimum from digest and state sizes.
 	MinFaults int
+	// Noise degrades the simulated injections (duds, model
+	// violations). Any non-zero noise automatically arms the guarded
+	// attack (core.Config.Guarded) so blamed observations are evicted
+	// instead of killing the run.
+	Noise fault.Noise
+	// Retries allows this many whole-campaign re-attempts after a run
+	// that saw BudgetExceeded and did not recover. Each retry escalates
+	// the solver budget (conflicts ×4, timeout ×2) and the final retry
+	// additionally arms a small solver portfolio.
+	Retries int
+	// Checkpoint, when set, is a directory where RunAFABatch records
+	// each finished run as JSON (written atomically via rename).
+	Checkpoint string
+	// Resume makes RunAFABatch load existing checkpoint records
+	// instead of re-running their campaigns.
+	Resume bool
 	// Config overrides; zero value uses core.DefaultConfig.
 	Config *core.Config
 }
@@ -70,9 +104,22 @@ func minFaults(mode keccak.Mode) int {
 }
 
 // RunAFA executes one seeded AFA campaign: a random message, a stream
-// of faults under the model, solving until recovery or MaxFaults.
+// of faults under the model, solving until recovery or MaxFaults. It
+// honours the process-wide batch context (SetContext).
 func RunAFA(mode keccak.Mode, model fault.Model, seed int64, opts AFAOptions) AFARun {
-	run := AFARun{Mode: mode, Model: model, Seed: seed}
+	return RunAFACtx(Context(), mode, model, seed, opts)
+}
+
+// RunAFACtx is RunAFA with cancellation. The run can never kill its
+// caller: worker panics are recovered into run.Err, and a done context
+// stops the fault stream, marking the run canceled.
+func RunAFACtx(ctx context.Context, mode keccak.Mode, model fault.Model, seed int64, opts AFAOptions) (run AFARun) {
+	run = AFARun{Mode: mode, Model: model, Seed: seed, Noise: opts.Noise}
+	defer func() {
+		if r := recover(); r != nil {
+			run.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
 	rng := rand.New(rand.NewSource(seed))
 	msg := randomMessage(mode, rng)
 	if opts.MaxFaults <= 0 {
@@ -87,12 +134,17 @@ func RunAFA(mode keccak.Mode, model fault.Model, seed int64, opts AFAOptions) AF
 			opts.SolveEvery = 1
 		}
 	}
-	first := opts.MinFaults
-	if first <= 0 {
-		first = minFaults(mode)
+	if opts.MinFaults <= 0 {
+		opts.MinFaults = minFaults(mode)
 	}
 
-	correct, injs := fault.Campaign(mode, msg, model, 22, opts.MaxFaults, seed+1)
+	var correct []byte
+	var injs []fault.Injection
+	if opts.Noise.Enabled() {
+		correct, injs = fault.NoisyCampaign(mode, msg, model, 22, opts.MaxFaults, seed+1, opts.Noise)
+	} else {
+		correct, injs = fault.Campaign(mode, msg, model, 22, opts.MaxFaults, seed+1)
+	}
 	var cfg core.Config
 	if opts.Config != nil {
 		cfg = *opts.Config
@@ -100,35 +152,86 @@ func RunAFA(mode keccak.Mode, model fault.Model, seed int64, opts AFAOptions) AF
 		cfg = core.DefaultConfig(mode, model)
 	}
 	cfg.Mode, cfg.Model = mode, model
-
-	atk := core.NewAttack(cfg)
-	start := time.Now()
-	if err := atk.AddCorrect(correct); err != nil {
-		panic(err)
+	if opts.Noise.Enabled() {
+		// Noisy observations would otherwise turn the attack terminally
+		// Inconsistent: arm the guarded engine so they get evicted.
+		cfg.Guarded = true
 	}
 	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	start := time.Now()
+	defer func() { run.TotalTime = time.Since(start) }()
+	for attempt := 0; ; attempt++ {
+		sawBudget := runAFAAttempt(ctx, &run, cfg, correct, injs, msg, &truth, opts)
+		if run.Recovered || run.Err != "" || attempt >= opts.Retries || !sawBudget {
+			return run
+		}
+		run.Retries++
+		escalate(&cfg, attempt+1 == opts.Retries)
+	}
+}
+
+// runAFAAttempt streams the observations into one fresh attack session
+// and fills the run record. It reports whether any solve exhausted its
+// budget (the signal for escalation).
+func runAFAAttempt(ctx context.Context, run *AFARun, cfg core.Config, correct []byte,
+	injs []fault.Injection, msg []byte, truth *keccak.State, opts AFAOptions) (sawBudget bool) {
+	atk := core.NewAttack(cfg)
+	if err := atk.AddCorrect(correct); err != nil {
+		run.Err = err.Error()
+		return false
+	}
+	finish := func(n int) {
+		run.FaultsUsed = n
+		run.Solvers = atk.SolverStats()
+		evicted := atk.Evicted()
+		run.Evicted, run.EvictedOK = len(evicted), 0
+		for _, k := range evicted {
+			if injs[k].Kind != fault.Clean {
+				run.EvictedOK++
+			}
+		}
+		run.NoisyFed = 0
+		for _, inj := range injs[:n] {
+			if inj.Kind != fault.Clean {
+				run.NoisyFed++
+			}
+		}
+	}
 	for i, inj := range injs {
+		if ctx.Err() != nil {
+			run.Err = "canceled"
+			finish(i)
+			return sawBudget
+		}
 		if err := atk.AddInjection(inj); err != nil {
-			panic(err)
+			run.Err = err.Error()
+			finish(i)
+			return sawBudget
 		}
 		n := i + 1
-		if n < first || (n-first)%opts.SolveEvery != 0 {
+		if n < opts.MinFaults || (n-opts.MinFaults)%opts.SolveEvery != 0 {
 			continue
 		}
-		res, err := atk.Solve()
+		res, err := atk.SolveContext(ctx)
 		if err != nil {
-			panic(err)
+			run.Err = err.Error()
+			finish(n)
+			return sawBudget
 		}
 		run.SolveTime += res.SolveTime
 		run.Vars, run.Clauses = res.Vars, res.Clauses
+		if res.Status == core.BudgetExceeded {
+			sawBudget = true
+		}
 		if res.Status == core.Recovered {
-			run.Recovered = res.ChiInput.Equal(&truth)
-			run.FaultsUsed = n
+			run.Recovered = res.ChiInput.Equal(truth)
 			got, ok := atk.ExtractMessage(res.ChiInput)
 			run.MessageOK = ok && string(got) == string(msg)
+			run.FaultsIdent = 0
 			if rfs, err := atk.RecoveredFaults(); err == nil {
 				for k, rf := range rfs {
-					if rf.Silent {
+					if rf.Silent || rf.Evicted {
 						continue
 					}
 					// Compare by state difference so canonicalized
@@ -139,15 +242,35 @@ func RunAFA(mode keccak.Mode, model fault.Model, seed int64, opts AFAOptions) AF
 					}
 				}
 			}
-			run.TotalTime = time.Since(start)
-			run.Solvers = atk.SolverStats()
-			return run
+			finish(n)
+			return sawBudget
 		}
 	}
-	run.FaultsUsed = opts.MaxFaults
-	run.TotalTime = time.Since(start)
-	run.Solvers = atk.SolverStats()
-	return run
+	finish(len(injs))
+	return sawBudget
+}
+
+// escalate widens the solver budget for a retry after BudgetExceeded:
+// conflict budgets quadruple, timeouts double, and the last rung of
+// the ladder additionally arms a small portfolio of diversified
+// solvers — the strongest (and most expensive) engine available.
+func escalate(cfg *core.Config, last bool) {
+	if cfg.SolverOptions.MaxConflicts > 0 {
+		cfg.SolverOptions.MaxConflicts *= 4
+	}
+	if cfg.SolverOptions.Timeout > 0 {
+		cfg.SolverOptions.Timeout *= 2
+	}
+	if last && cfg.Portfolio <= 1 {
+		n := runtime.NumCPU()
+		if n > 4 {
+			n = 4
+		}
+		if n < 2 {
+			n = 2
+		}
+		cfg.Portfolio = n
+	}
 }
 
 // DFARun is the outcome of one DFA campaign.
@@ -164,6 +287,9 @@ type DFARun struct {
 	// Infeasible marks models DFA cannot process at all (identification
 	// space too large) — the paper's "DFA fails" entries.
 	Infeasible bool
+	// Err is non-empty when the run failed outright (worker panic or
+	// setup error) instead of completing with a verdict.
+	Err string
 }
 
 // RunDFA executes one seeded DFA campaign mirroring RunAFA with
@@ -179,8 +305,13 @@ func RunDFAOracle(mode keccak.Mode, model fault.Model, seed int64, maxFaults int
 	return runDFA(mode, model, seed, maxFaults, true)
 }
 
-func runDFA(mode keccak.Mode, model fault.Model, seed int64, maxFaults int, oracle bool) DFARun {
-	run := DFARun{Mode: mode, Model: model, Seed: seed}
+func runDFA(mode keccak.Mode, model fault.Model, seed int64, maxFaults int, oracle bool) (run DFARun) {
+	run = DFARun{Mode: mode, Model: model, Seed: seed}
+	defer func() {
+		if r := recover(); r != nil {
+			run.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
 	rng := rand.New(rand.NewSource(seed))
 	msg := randomMessage(mode, rng)
 	if maxFaults <= 0 {
@@ -195,7 +326,9 @@ func runDFA(mode keccak.Mode, model fault.Model, seed int64, maxFaults int, orac
 	for i, inj := range injs {
 		if oracle {
 			if err := atk.AddInjectionKnown(inj); err != nil {
-				panic(err)
+				run.Err = err.Error()
+				run.TotalTime = time.Since(start)
+				return run
 			}
 		} else if _, err := atk.AddInjection(inj); err != nil {
 			run.Infeasible = true
@@ -224,6 +357,10 @@ type Summary struct {
 	AvgFaults  float64 // over recovered runs
 	AvgTime    time.Duration
 	Infeasible bool
+	// Errors counts runs that failed outright (panic, setup error,
+	// cancellation). They are excluded from the recovery statistics: an
+	// aborted run says nothing about the attack's fault requirements.
+	Errors int
 }
 
 // SummarizeAFA folds AFA runs into a table cell.
@@ -233,6 +370,10 @@ func SummarizeAFA(runs []AFARun) Summary {
 	var faults int
 	var total time.Duration
 	for _, r := range runs {
+		if r.Err != "" {
+			s.Errors++
+			continue
+		}
 		if r.Recovered {
 			s.Recovered++
 			faults += r.FaultsUsed
@@ -253,6 +394,10 @@ func SummarizeDFA(runs []DFARun) Summary {
 	var faults int
 	var total time.Duration
 	for _, r := range runs {
+		if r.Err != "" {
+			s.Errors++
+			continue
+		}
 		if r.Infeasible {
 			s.Infeasible = true
 		}
@@ -271,14 +416,20 @@ func SummarizeDFA(runs []DFARun) Summary {
 
 // Cell renders a summary the way the paper's tables do.
 func (s Summary) Cell() string {
-	if s.Infeasible {
-		return "infeasible"
+	cell := func() string {
+		if s.Infeasible {
+			return "infeasible"
+		}
+		if s.Recovered == 0 {
+			return "fail"
+		}
+		return fmt.Sprintf("%.1f faults / %s (%d/%d ok)",
+			s.AvgFaults, s.AvgTime.Round(time.Millisecond), s.Recovered, s.Runs)
+	}()
+	if s.Errors > 0 {
+		cell += fmt.Sprintf(" [%d err]", s.Errors)
 	}
-	if s.Recovered == 0 {
-		return "fail"
-	}
-	return fmt.Sprintf("%.1f faults / %s (%d/%d ok)",
-		s.AvgFaults, s.AvgTime.Round(time.Millisecond), s.Recovered, s.Runs)
+	return cell
 }
 
 // Fprintf is a small helper so emitters can target any writer.

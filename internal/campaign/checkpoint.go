@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// Checkpointing: long batches record every finished run as one small
+// JSON file, so a killed process can be restarted with Resume and only
+// the missing repetitions re-run. The file name encodes everything that
+// determines a run's result — mode, model, noise level, seed — so
+// sweeps over noise levels at the same seed never collide, and a
+// checkpoint directory can safely be shared by a whole experiment. A
+// run is deterministic given those parameters (times excepted), so a
+// resumed batch reproduces an uninterrupted one wherever times are not
+// printed.
+
+// sanitize makes a table label safe for a file name.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// checkpointFile returns the per-run checkpoint path inside dir.
+func checkpointFile(dir string, mode keccak.Mode, model fault.Model, seed int64, noise fault.Noise) string {
+	name := fmt.Sprintf("afa_%s_%s_d%g_v%g_s%d.json",
+		sanitize(mode.String()), sanitize(model.String()), noise.Dud, noise.Violation, seed)
+	return filepath.Join(dir, name)
+}
+
+// SaveCheckpoint writes a finished run into dir atomically (a rename
+// over a temp file, so a crash mid-write never leaves a torn record).
+func SaveCheckpoint(dir string, run AFARun) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(run, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := checkpointFile(dir, run.Mode, run.Model, run.Seed, run.Noise)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint returns the recorded run for the given parameters, or
+// false when no usable record exists. Records whose identity fields do
+// not match the requested parameters (say, a file copied between
+// directories) and records of failed runs are ignored, so those runs
+// re-run instead of resurrecting an error.
+func LoadCheckpoint(dir string, mode keccak.Mode, model fault.Model, seed int64, noise fault.Noise) (AFARun, bool) {
+	data, err := os.ReadFile(checkpointFile(dir, mode, model, seed, noise))
+	if err != nil {
+		return AFARun{}, false
+	}
+	var run AFARun
+	if err := json.Unmarshal(data, &run); err != nil {
+		return AFARun{}, false
+	}
+	if run.Mode != mode || run.Model != model || run.Seed != seed || run.Noise != noise || run.Err != "" {
+		return AFARun{}, false
+	}
+	return run, true
+}

@@ -164,15 +164,18 @@ type StepStat struct {
 }
 
 // RunAFADetailed runs one campaign recording every incremental solve.
-func RunAFADetailed(mode keccak.Mode, model fault.Model, seed int64, maxFaults int) []StepStat {
+// Errors and panics end the recording early: the steps collected so
+// far are returned, so the figure emitters render a truncated series
+// instead of killing the whole experiment sweep.
+func RunAFADetailed(mode keccak.Mode, model fault.Model, seed int64, maxFaults int) (out []StepStat) {
+	defer func() { recover() }()
 	rng := rand.New(rand.NewSource(seed))
 	msg := randomMessage(mode, rng)
 	correct, injs := fault.Campaign(mode, msg, model, 22, maxFaults, seed+1)
 	atk := core.NewAttack(core.DefaultConfig(mode, model))
 	if err := atk.AddCorrect(correct); err != nil {
-		panic(err)
+		return out
 	}
-	var out []StepStat
 	first := minFaults(mode)
 	stride := model.Width() / 8
 	if stride < 1 {
@@ -180,14 +183,14 @@ func RunAFADetailed(mode keccak.Mode, model fault.Model, seed int64, maxFaults i
 	}
 	for i, inj := range injs {
 		if err := atk.AddInjection(inj); err != nil {
-			panic(err)
+			return out
 		}
 		if i+1 < first || (i+1-first)%stride != 0 {
 			continue
 		}
 		res, err := atk.Solve()
 		if err != nil {
-			panic(err)
+			return out
 		}
 		out = append(out, StepStat{
 			Faults: i + 1, SolveTime: res.SolveTime,
@@ -240,7 +243,8 @@ func Figure3(w io.Writer, mode keccak.Mode, maxFaults, sample int) {
 		atk.AddInjection(inj)
 		dfaAtk.AddInjection(inj)
 		if _, err := atk.Solve(); err != nil {
-			panic(err)
+			fmt.Fprintf(w, "(series truncated at fault %d: %v)\n", i+1, err)
+			return
 		}
 		det, err := atk.ProbeDetermined(idx)
 		if err != nil {

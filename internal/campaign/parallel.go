@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -30,18 +31,53 @@ func SetWorkers(n int) {
 // Workers returns the current campaign parallelism.
 func Workers() int { return int(atomic.LoadInt32(&workerCount)) }
 
-// forEachIndex runs fn(0) … fn(n-1) across Workers() goroutines. Each
-// invocation must only write to state owned by its own index (the
-// emitters give every repetition its own slice slot). With one worker
-// it degenerates to a plain loop on the calling goroutine, keeping the
-// sequential path byte-identical.
+// batchCtx is the process-wide cancellation context for campaign
+// batches. The emitters have stable io.Writer-only signatures, so the
+// CLI arms cancellation once (SetContext with a signal-bound context)
+// and every seed loop honours it: already-emitted rows stay flushed,
+// not-yet-started repetitions are skipped.
+var batchCtx atomic.Value // context.Context
+
+// SetContext installs the context every subsequent batch and emitter
+// consults for cancellation; nil restores context.Background().
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	batchCtx.Store(ctx)
+}
+
+// Context returns the process-wide batch context.
+func Context() context.Context {
+	if ctx, ok := batchCtx.Load().(context.Context); ok {
+		return ctx
+	}
+	return context.Background()
+}
+
+// forEachIndex runs fn(0) … fn(n-1) across Workers() goroutines under
+// the process-wide batch context. Each invocation must only write to
+// state owned by its own index (the emitters give every repetition its
+// own slice slot). With one worker it degenerates to a plain loop on
+// the calling goroutine, keeping the sequential path byte-identical.
 func forEachIndex(n int, fn func(i int)) {
+	forEachIndexCtx(Context(), n, fn)
+}
+
+// forEachIndexCtx is forEachIndex with explicit cancellation: once ctx
+// is done no further index is started (indices already running finish
+// on their own — long solves are additionally interrupted because the
+// runs thread the same context into the SAT backend).
+func forEachIndexCtx(ctx context.Context, n int, fn func(i int)) {
 	w := Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -53,6 +89,9 @@ func forEachIndex(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(atomic.AddInt32(&next, 1))
 				if i >= n {
 					return
@@ -89,11 +128,45 @@ func LockWriter(w io.Writer) io.Writer {
 
 // RunAFABatch runs reps seeded AFA campaigns (seeds base, base+1, …)
 // across the worker pool and returns them in seed order regardless of
-// scheduling.
+// scheduling. It honours the process-wide batch context (SetContext).
 func RunAFABatch(mode keccak.Mode, model fault.Model, baseSeed int64, reps int, opts AFAOptions) []AFARun {
+	return RunAFABatchCtx(Context(), mode, model, baseSeed, reps, opts)
+}
+
+// RunAFABatchCtx is RunAFABatch with cancellation and checkpointing.
+// With opts.Checkpoint set, every finished run is persisted before the
+// batch moves on; with opts.Resume additionally set, previously
+// persisted runs are loaded instead of re-run, so a killed batch picks
+// up exactly where it stopped. Repetitions never started (because ctx
+// was canceled) come back with Err == "canceled" and are counted as
+// errors, never as failures of the attack.
+func RunAFABatchCtx(ctx context.Context, mode keccak.Mode, model fault.Model, baseSeed int64, reps int, opts AFAOptions) []AFARun {
 	runs := make([]AFARun, reps)
-	forEachIndex(reps, func(i int) {
-		runs[i] = RunAFA(mode, model, baseSeed+int64(i), opts)
+	forEachIndexCtx(ctx, reps, func(i int) {
+		seed := baseSeed + int64(i)
+		if opts.Resume && opts.Checkpoint != "" {
+			if run, ok := LoadCheckpoint(opts.Checkpoint, mode, model, seed, opts.Noise); ok {
+				runs[i] = run
+				return
+			}
+		}
+		run := RunAFACtx(ctx, mode, model, seed, opts)
+		if opts.Checkpoint != "" && run.Err == "" {
+			// A failed save must not fail the run; the worst case is
+			// re-running this repetition after a restart.
+			_ = SaveCheckpoint(opts.Checkpoint, run)
+		}
+		runs[i] = run
 	})
+	if ctx.Err() != nil {
+		for i := range runs {
+			if runs[i].TotalTime == 0 && runs[i].Err == "" && !runs[i].Recovered {
+				// Never started: forEachIndexCtx skipped it after
+				// cancellation.
+				runs[i] = AFARun{Mode: mode, Model: model, Seed: baseSeed + int64(i),
+					Noise: opts.Noise, Err: "canceled"}
+			}
+		}
+	}
 	return runs
 }

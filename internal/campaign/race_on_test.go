@@ -1,0 +1,8 @@
+//go:build race
+
+package campaign
+
+// raceEnabled lets solver-heavy tests skip themselves under -race; the
+// campaign robustness paths (panic recovery, cancellation, checkpoint
+// round trip) have fast dedicated tests that do run instrumented.
+const raceEnabled = true

@@ -1,0 +1,200 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sha3afa/internal/core"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// TestRunAFAPanicRecovery: a panicking worker (Round 21 is not modeled,
+// so core.NewBuilder panics) must surface as run.Err on every
+// repetition instead of killing the batch — exercised across a real
+// worker pool so -race also checks the recovery path.
+func TestRunAFAPanicRecovery(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(1)
+	bad := core.DefaultConfig(keccak.SHA3_512, fault.Byte)
+	bad.Round = 21
+	runs := RunAFABatch(keccak.SHA3_512, fault.Byte, 100, 8, AFAOptions{
+		MaxFaults: 5,
+		Config:    &bad,
+	})
+	for i, run := range runs {
+		if !strings.Contains(run.Err, "panic") || !strings.Contains(run.Err, "Round 22") {
+			t.Fatalf("run %d: Err = %q, want recovered panic about Round 22", i, run.Err)
+		}
+		if run.Recovered {
+			t.Fatalf("run %d recovered despite panicking", i)
+		}
+	}
+	s := SummarizeAFA(runs)
+	if s.Errors != len(runs) || s.Recovered != 0 {
+		t.Fatalf("summary did not count errors: %+v", s)
+	}
+	if !strings.Contains(s.Cell(), "[8 err]") {
+		t.Fatalf("cell = %q, want error count", s.Cell())
+	}
+}
+
+// TestRunAFACanceled: a canceled context stops the fault stream and
+// marks the run, and a canceled batch marks never-started repetitions.
+func TestRunAFACanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run := RunAFACtx(ctx, keccak.SHA3_512, fault.Byte, 1, AFAOptions{MaxFaults: 5})
+	if run.Err != "canceled" {
+		t.Fatalf("Err = %q, want canceled", run.Err)
+	}
+	runs := RunAFABatchCtx(ctx, keccak.SHA3_512, fault.Byte, 1, 4, AFAOptions{MaxFaults: 5})
+	for i, r := range runs {
+		if r.Err != "canceled" {
+			t.Fatalf("batch run %d: Err = %q, want canceled", i, r.Err)
+		}
+		if r.Seed != 1+int64(i) {
+			t.Fatalf("batch run %d: seed %d not filled in", i, r.Seed)
+		}
+	}
+	if s := SummarizeAFA(runs); s.Errors != 4 {
+		t.Fatalf("canceled runs not counted as errors: %+v", s)
+	}
+}
+
+// TestCheckpointRoundTrip: save/load identity, plus the guards — a
+// record whose parameters do not match the request, or that recorded a
+// failure, must not resume.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	run := AFARun{
+		Mode: keccak.SHA3_256, Model: fault.Byte, Seed: 7,
+		Noise: fault.Noise{Dud: 0.1}, Recovered: true, FaultsUsed: 33,
+		Evicted: 3, EvictedOK: 3, NoisyFed: 3,
+	}
+	if err := SaveCheckpoint(dir, run); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := LoadCheckpoint(dir, run.Mode, run.Model, run.Seed, run.Noise)
+	if !ok {
+		t.Fatal("checkpoint not loaded back")
+	}
+	if runRow(got) != runRow(run) || got.TotalTime != run.TotalTime {
+		t.Fatalf("round trip mutated the run:\n got %+v\nwant %+v", got, run)
+	}
+	if _, ok := LoadCheckpoint(dir, run.Mode, run.Model, 8, run.Noise); ok {
+		t.Fatal("loaded a checkpoint for the wrong seed")
+	}
+	if _, ok := LoadCheckpoint(dir, run.Mode, run.Model, run.Seed, fault.Noise{}); ok {
+		t.Fatal("loaded a checkpoint for the wrong noise level")
+	}
+	failed := run
+	failed.Seed, failed.Err = 9, "panic: boom"
+	if err := SaveCheckpoint(dir, failed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := LoadCheckpoint(dir, failed.Mode, failed.Model, failed.Seed, failed.Noise); ok {
+		t.Fatal("resumed a failed run instead of re-running it")
+	}
+}
+
+// runRow renders the deterministic (time-free) fields of a run — the
+// exact information the robustness table prints. A resumed batch must
+// reproduce an uninterrupted one byte for byte under this rendering.
+func runRow(r AFARun) string {
+	return fmt.Sprintf("%s %s s%d n[%s] rec=%v used=%d ident=%d msg=%v ev=%d evOK=%d noisy=%d retries=%d err=%q",
+		r.Mode, r.Model, r.Seed, r.Noise, r.Recovered, r.FaultsUsed, r.FaultsIdent,
+		r.MessageOK, r.Evicted, r.EvictedOK, r.NoisyFed, r.Retries, r.Err)
+}
+
+// TestBatchCheckpointResume: a batch killed after one repetition and
+// restarted with -resume must (a) actually load the finished run from
+// disk and (b) produce summary rows byte-identical to an uninterrupted
+// batch.
+func TestBatchCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("solver-heavy test skipped under -race")
+	}
+	// Known positions keep the instances easy and fully deterministic;
+	// sparse solve points keep the runs short (known-position recovery
+	// needs ~30 faults, so solve only a few times on the way there).
+	cfg := core.DefaultConfig(keccak.SHA3_512, fault.Byte)
+	cfg.KnownPosition = true
+	opts := AFAOptions{MaxFaults: 45, SolveEvery: 14, Config: &cfg}
+	const base, reps = 500, 2
+
+	uninterrupted := RunAFABatch(keccak.SHA3_512, fault.Byte, base, reps, opts)
+
+	dir := t.TempDir()
+	partialOpts := opts
+	partialOpts.Checkpoint = dir
+	// "Kill" the batch after its first repetition…
+	partial := RunAFABatch(keccak.SHA3_512, fault.Byte, base, 1, partialOpts)
+	// …and restart the full batch with resume.
+	resumeOpts := partialOpts
+	resumeOpts.Resume = true
+	resumed := RunAFABatch(keccak.SHA3_512, fault.Byte, base, reps, resumeOpts)
+
+	// Wall-clock equality across separate executions is as good as a
+	// proof that the first repetition was loaded, not re-run.
+	if resumed[0].TotalTime != partial[0].TotalTime {
+		t.Fatal("first repetition was re-run instead of resumed from its checkpoint")
+	}
+	for i := range uninterrupted {
+		got, want := runRow(resumed[i]), runRow(uninterrupted[i])
+		if got != want {
+			t.Fatalf("row %d differs after resume:\n got %s\nwant %s", i, got, want)
+		}
+		if !resumed[i].Recovered {
+			t.Fatalf("row %d did not recover: %s", i, got)
+		}
+	}
+}
+
+// TestNoisyCampaignRecoversEvicting is the paper-level acceptance
+// criterion: with 10% duds and 5% model violations a SHA3-256
+// single-byte campaign still recovers the state, evicting exactly the
+// noisy observations it was fed.
+func TestNoisyCampaignRecoversEvicting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("solver-heavy test skipped under -race")
+	}
+	// Known positions keep the SHA3-256 instances tractable on one
+	// core; the guarded machinery exercised (UNSAT → blame → evict →
+	// retry) is identical to the relaxed-position path, which the
+	// SHA3-512 guarded tests cover.
+	cfg := core.DefaultConfig(keccak.SHA3_256, fault.Byte)
+	cfg.KnownPosition = true
+	run := RunAFA(keccak.SHA3_256, fault.Byte, 301, AFAOptions{
+		MaxFaults: 150,
+		Noise:     fault.Noise{Dud: 0.10, Violation: 0.05},
+		Config:    &cfg,
+	})
+	if run.Err != "" {
+		t.Fatalf("run failed: %s", run.Err)
+	}
+	if !run.Recovered {
+		t.Fatalf("not recovered under noise within %d faults (evicted %d)", run.FaultsUsed, run.Evicted)
+	}
+	if run.Evicted == 0 {
+		t.Fatal("no observations evicted despite 15% injection noise")
+	}
+	// Blame must be exact: everything evicted was genuinely noisy, and
+	// nothing noisy survived to recovery (an out-of-model observation
+	// that stayed active would have made the final model impossible).
+	if run.EvictedOK != run.Evicted {
+		t.Fatalf("evicted %d observations but only %d were genuinely noisy", run.Evicted, run.EvictedOK)
+	}
+	if run.EvictedOK != run.NoisyFed {
+		t.Fatalf("fed %d noisy observations but only evicted %d", run.NoisyFed, run.EvictedOK)
+	}
+	t.Logf("recovered after %d faults, evicted %d/%d noisy", run.FaultsUsed, run.Evicted, run.NoisyFed)
+}

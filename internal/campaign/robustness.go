@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+
+	"sha3afa/internal/core"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// RobustnessNoiseLevels is the P3 sweep: from a perfect injector to a
+// setup where nearly a third of all injections are unusable.
+var RobustnessNoiseLevels = []fault.Noise{
+	{},
+	{Dud: 0.05},
+	{Dud: 0.10, Violation: 0.05},
+	{Dud: 0.20, Violation: 0.10},
+}
+
+// TableRobustness — experiment P3: the attack's recovery rate, fault
+// budget, and blame accuracy as injection noise rises (SHA3-512, byte
+// model, guarded attack, known fault positions so a 4×seeds sweep fits
+// a single-core budget — the eviction machinery measured is identical
+// in the relaxed-position attack). Rows are intentionally time-free:
+// every figure printed is a pure function of (seeds, maxFaults, noise),
+// so the table is byte-identical across machines, worker counts, and
+// checkpoint resumes — which is what makes the resume test meaningful.
+func TableRobustness(w io.Writer, seeds, maxFaults int, checkpoint string, resume bool) {
+	w = LockWriter(w)
+	fmt.Fprintf(w, "P3: noise robustness, SHA3-512 byte model, known positions (seeds=%d, max %d faults)\n", seeds, maxFaults)
+	fmt.Fprintf(w, "%-24s | %-9s | %-10s | %-11s | %-12s | %s\n",
+		"noise", "recovered", "avg faults", "avg evicted", "blame acc.", "errors")
+	cfg := core.DefaultConfig(keccak.SHA3_512, fault.Byte)
+	cfg.KnownPosition = true
+	for _, noise := range RobustnessNoiseLevels {
+		opts := AFAOptions{
+			MaxFaults:  maxFaults,
+			Noise:      noise,
+			Checkpoint: checkpoint,
+			Resume:     resume,
+			Config:     &cfg,
+		}
+		runs := RunAFABatch(keccak.SHA3_512, fault.Byte, 9000, seeds, opts)
+		var recovered, faults, evicted, evictedOK, errors int
+		for _, r := range runs {
+			if r.Err != "" {
+				errors++
+				continue
+			}
+			if r.Recovered {
+				recovered++
+				faults += r.FaultsUsed
+				evicted += r.Evicted
+				evictedOK += r.EvictedOK
+			}
+		}
+		avgFaults, avgEvicted, blame := "-", "-", "-"
+		if recovered > 0 {
+			avgFaults = fmt.Sprintf("%.1f", float64(faults)/float64(recovered))
+			avgEvicted = fmt.Sprintf("%.1f", float64(evicted)/float64(recovered))
+		}
+		if evicted > 0 {
+			blame = fmt.Sprintf("%.0f%%", 100*float64(evictedOK)/float64(evicted))
+		}
+		fmt.Fprintf(w, "%-24s | %4d/%-4d | %-10s | %-11s | %-12s | %d\n",
+			noise, recovered, len(runs), avgFaults, avgEvicted, blame, errors)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -17,6 +18,11 @@ import (
 type solveBackend interface {
 	AddClause(lits ...int) error
 	Solve(assumptions ...int) sat.Status
+	SolveContext(ctx context.Context, assumptions ...int) sat.Status
+	// FailedAssumptions reports, after an Unsat result, a subset of the
+	// assumptions sufficient for unsatisfiability (empty when the
+	// formula is unsatisfiable on its own).
+	FailedAssumptions() []int
 	Model() []bool
 }
 
@@ -32,6 +38,27 @@ func (b *singleBackend) Solve(assumptions ...int) sat.Status {
 	return b.last
 }
 
+func (b *singleBackend) SolveContext(ctx context.Context, assumptions ...int) sat.Status {
+	b.last = b.Solver.SolveContext(ctx, assumptions...)
+	return b.last
+}
+
+// guardSpan marks a half-open clause range [from, to) of the builder's
+// formula that belongs to one guarded observation: every clause in the
+// range is pushed into the solver with the extra literal ¬guard, so
+// the whole batch is active exactly while `guard` is assumed true.
+type guardSpan struct {
+	from, to int
+	guard    int
+}
+
+// observation is the solver-side bookkeeping of one faulty digest in a
+// guarded attack.
+type observation struct {
+	guard  int  // activation variable (assumed positive while active)
+	active bool // false once evicted as out-of-model
+}
+
 // Attack drives an incremental AFA session: observations stream in via
 // AddCorrect/AddFaulty, Solve asks the SAT solver whether the
 // accumulated algebra pins the state down, and the recovered state can
@@ -43,8 +70,16 @@ type Attack struct {
 	pushed  int // clauses already handed to the solver
 
 	correctDigest []byte
-	guards        []int // satisfied guard literals of retired blocking clauses
+	retired       []int // satisfied guard literals of retired blocking clauses
 	lastModel     []bool
+
+	// Guarded-mode state (cfg.Guarded): one guard per observation, the
+	// clause spans they cover, and the indices evicted so far.
+	spans   []guardSpan
+	obs     []observation
+	evicted []int
+
+	ctx context.Context // context of the Solve call in flight
 }
 
 // NewAttack returns an empty attack session. With cfg.Portfolio > 1
@@ -64,6 +99,7 @@ func NewAttack(cfg Config) *Attack {
 		cfg:     cfg,
 		builder: NewBuilder(cfg),
 		solver:  backend,
+		ctx:     context.Background(),
 	}
 }
 
@@ -95,10 +131,31 @@ func (a *Attack) AddCorrect(digest []byte) error {
 
 // AddFaulty records one faulty digest observed under the configured
 // relaxed fault model. knownWindow is used only when cfg.KnownPosition
-// is set; pass -1 in the relaxed setting.
+// is set; pass -1 in the relaxed setting. In a guarded attack
+// (cfg.Guarded) the observation's clause batch is tagged with a fresh
+// activation literal so it can later be evicted if blamed for an
+// inconsistency.
 func (a *Attack) AddFaulty(faultyDigest []byte, knownWindow int) error {
-	return a.builder.AddFaulty(faultyDigest, knownWindow)
+	from := a.builder.Formula().NumClauses()
+	if err := a.builder.AddFaulty(faultyDigest, knownWindow); err != nil {
+		return err
+	}
+	if a.cfg.Guarded {
+		// The guard variable is allocated from the formula's variable
+		// space (like blocking-clause guards) so that variables created
+		// by later AddFaulty calls cannot collide with it; the guard
+		// literal itself is appended only on the way into the solver and
+		// never appears in the exportable formula.
+		g := a.builder.Formula().NewVar()
+		a.spans = append(a.spans, guardSpan{from: from, to: a.builder.Formula().NumClauses(), guard: g})
+		a.obs = append(a.obs, observation{guard: g, active: true})
+	}
+	return nil
 }
+
+// Evicted returns the observation indices quarantined as out-of-model
+// so far (guarded attacks only), in eviction order.
+func (a *Attack) Evicted() []int { return append([]int(nil), a.evicted...) }
 
 // AddInjection is a convenience for experiment harnesses: it feeds a
 // fault.Injection, passing the ground-truth window through only when
@@ -112,63 +169,243 @@ func (a *Attack) AddInjection(inj fault.Injection) error {
 }
 
 // sync pushes clauses added to the formula since the last call into
-// the incremental solver. With cfg.Preprocess the pending batch is
-// simplified first: only clauses not yet pushed are preprocessed (as
-// one sub-formula over the same variable space), which keeps the
-// incremental stream sound — the simplified batch is logically
-// equivalent to the original batch, and clauses already inside the
-// solver are never rewritten retroactively.
+// the incremental solver. The pending clauses are partitioned into
+// maximal runs sharing one guard (guard 0 = unguarded; in unguarded
+// attacks the whole pending set is a single run, preserving the
+// classic behaviour); every clause of a guarded run enters the solver
+// with the extra literal ¬guard appended.
+//
+// With cfg.Preprocess each run is simplified first, as one sub-formula
+// over the same variable space, BEFORE the guard literal is appended.
+// This keeps the incremental stream sound twice over: the simplified
+// run is logically equivalent to the original run, so guarding both
+// sides with ¬g yields equivalent guarded batches; and because runs
+// never span a guard boundary, a unit derived from observation A can
+// never rewrite a clause of observation B (which would smuggle A's
+// constraints past B's guard and make eviction of A unsound).
 func (a *Attack) sync() error {
 	cls := a.builder.Formula().Clauses()
-	if a.cfg.Preprocess {
-		if a.pushed == len(cls) {
-			return nil
+	for a.pushed < len(cls) {
+		guard, end := a.guardRun(a.pushed, len(cls))
+		if err := a.pushRun(cls, a.pushed, end, guard); err != nil {
+			return err
 		}
+		a.pushed = end
+	}
+	return nil
+}
+
+// guardRun returns the guard of clause index i (0 if unguarded) and
+// the end of the maximal run [i, end) sharing that guard, capped at
+// limit. Spans are appended in clause order, so a linear scan over the
+// (few) spans is plenty.
+func (a *Attack) guardRun(i, limit int) (guard, end int) {
+	end = limit
+	for _, sp := range a.spans {
+		if i >= sp.from && i < sp.to {
+			to := sp.to
+			if to > limit {
+				to = limit
+			}
+			return sp.guard, to
+		}
+		if sp.from > i {
+			// Unguarded gap before the next span.
+			if sp.from < end {
+				end = sp.from
+			}
+			break
+		}
+	}
+	return 0, end
+}
+
+// pushRun hands clauses [from, end) to the solver, optionally
+// preprocessed as one batch, appending ¬guard to each when guarded.
+func (a *Attack) pushRun(cls [][]int, from, end, guard int) error {
+	run := cls[from:end]
+	if a.cfg.Preprocess {
 		batch := cnf.New()
 		batch.NewVars(a.builder.Formula().NumVars())
-		for _, c := range cls[a.pushed:] {
+		for _, c := range run {
 			batch.AddClause(c...)
 		}
-		a.pushed = len(cls)
 		batch.Preprocess()
-		for _, c := range batch.Clauses() {
-			if err := a.solver.AddClause(c...); err != nil {
-				return err
-			}
-		}
-		return nil
+		run = batch.Clauses()
 	}
-	for ; a.pushed < len(cls); a.pushed++ {
-		if err := a.solver.AddClause(cls[a.pushed]...); err != nil {
+	for _, c := range run {
+		if guard != 0 {
+			gc := make([]int, 0, len(c)+1)
+			gc = append(gc, c...)
+			gc = append(gc, -guard)
+			c = gc
+		}
+		if err := a.solver.AddClause(c...); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// assumptions assembles the assumption set for a primary solve:
+// retired blocking-clause guards (assumed true to satisfy and thereby
+// disable their clauses) plus the activation guards of every surviving
+// observation (assumed true to switch their clause batches on),
+// followed by any extra literals.
+func (a *Attack) assumptions(extra ...int) []int {
+	out := make([]int, 0, len(a.retired)+len(a.obs)+len(extra))
+	out = append(out, a.retired...)
+	for _, o := range a.obs {
+		if o.active {
+			out = append(out, o.guard)
+		}
+	}
+	out = append(out, extra...)
+	return out
+}
+
 // Solve asks whether the current observations determine the state. It
 // returns Recovered with the unique χ input of round 22 when they do,
 // Ambiguous when several states remain, and BudgetExceeded if the
 // solver budget ran out.
-func (a *Attack) Solve() (res Result, err error) {
+func (a *Attack) Solve() (Result, error) {
+	return a.SolveContext(context.Background())
+}
+
+// SolveContext is Solve with cancellation: when ctx is done the
+// underlying solver (or every portfolio member) is interrupted and the
+// result reports BudgetExceeded.
+func (a *Attack) SolveContext(ctx context.Context) (res Result, err error) {
 	if !a.builder.correctAdded {
 		return res, fmt.Errorf("core: Solve before AddCorrect")
 	}
+	a.ctx = ctx
+	defer func() { a.ctx = context.Background() }()
 	start := time.Now()
 	defer func() { res.SolveTime = time.Since(start) }()
 
 	if err := a.sync(); err != nil {
-		// Level-0 UNSAT while loading clauses.
+		// Level-0 UNSAT while loading clauses. Guarded observation
+		// clauses always contain an unassigned guard literal, so this
+		// can only be caused by the correct-digest block itself.
 		res.Status = Inconsistent
+		res.EvictedFaults = a.Evicted()
 		return res, nil
 	}
 	stats := a.builder.Formula().ComputeStats()
 	res.Vars, res.Clauses = stats.Vars, stats.Clauses
 
 	if a.cfg.UniquenessCheck {
-		return a.solveUnique(res)
+		res, err = a.solveUnique(res)
+	} else {
+		res, err = a.solvePractical(res)
 	}
-	return a.solvePractical(res)
+	if len(a.evicted) > 0 {
+		res.EvictedFaults = a.Evicted()
+	}
+	return res, err
+}
+
+// solveRobust runs one primary solve under the current assumption set.
+// In a guarded attack an Unsat outcome triggers the blame loop: the
+// failed-assumption core is read, minimized, and its observations are
+// evicted before retrying, so the caller only ever sees Unsat when the
+// surviving constraint system is genuinely inconsistent (or the
+// eviction budget is exhausted).
+func (a *Attack) solveRobust() sat.Status {
+	for {
+		st := a.solver.SolveContext(a.ctx, a.assumptions()...)
+		if st != sat.Unsat || !a.cfg.Guarded {
+			return st
+		}
+		if !a.blameAndEvict() {
+			return sat.Unsat
+		}
+	}
+}
+
+// blameAndEvict maps the solver's failed-assumption core back to
+// observation indices, minimizes it, and evicts the blamed
+// observations. It returns false when recovery is impossible: the core
+// contains no observation guard (the formula is inconsistent on its
+// own), or the eviction cap would be exceeded.
+func (a *Attack) blameAndEvict() bool {
+	core := a.coreObservations(a.solver.FailedAssumptions())
+	if len(core) == 0 {
+		return false
+	}
+	core = a.minimizeCore(core)
+	if cap := a.cfg.MaxEvictions; cap > 0 && len(a.evicted)+len(core) > cap {
+		return false
+	}
+	for _, k := range core {
+		a.evict(k)
+	}
+	return true
+}
+
+// coreObservations filters a failed-assumption core down to the
+// indices of the active observations whose guards appear in it.
+func (a *Attack) coreObservations(failed []int) []int {
+	var out []int
+	for _, l := range failed {
+		if l <= 0 {
+			continue // observation guards are assumed positive
+		}
+		for k, o := range a.obs {
+			if o.active && o.guard == l {
+				out = append(out, k)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// minimizeCore shrinks a blamed observation set to an irredundant core
+// by deletion: each member is dropped in turn and the remainder
+// re-solved; if the remainder is still Unsat the member was redundant.
+// A genuinely out-of-model observation is individually inconsistent
+// with the correct-digest constraints, so in practice this converges
+// onto exactly the guilty observations and spares the innocent ones
+// that merely shared a conflict with them. Unknown outcomes (budget)
+// conservatively keep the member under test.
+func (a *Attack) minimizeCore(core []int) []int {
+	if len(core) <= 1 {
+		return core
+	}
+	kept := append([]int(nil), core...)
+	for i := 0; i < len(kept) && len(kept) > 1; {
+		trial := make([]int, 0, len(a.retired)+len(kept)-1)
+		trial = append(trial, a.retired...)
+		for j, k := range kept {
+			if j != i {
+				trial = append(trial, a.obs[k].guard)
+			}
+		}
+		if a.solver.SolveContext(a.ctx, trial...) == sat.Unsat {
+			kept = append(kept[:i], kept[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return kept
+}
+
+// evict permanently deactivates observation k: its guard is fixed
+// false at level 0, which satisfies every clause of its batch, and it
+// is dropped from all future assumption sets.
+func (a *Attack) evict(k int) {
+	o := &a.obs[k]
+	if !o.active {
+		return
+	}
+	o.active = false
+	a.evicted = append(a.evicted, k)
+	// The unit can only conflict with an assumption, never at level 0
+	// (the guard occurs nowhere else with fixed polarity), so the error
+	// is impossible; ignore it defensively.
+	_ = a.solver.AddClause(-o.guard)
 }
 
 // solvePractical enumerates SAT models and validates each candidate by
@@ -180,10 +417,11 @@ func (a *Attack) solvePractical(res Result) (Result, error) {
 		maxCand = 16
 	}
 	for res.Candidates < maxCand {
-		switch a.solver.Solve(a.guards...) {
+		switch a.solveRobust() {
 		case sat.Unsat:
-			// Either the observations contradict the fault model, or
-			// every remaining model was enumerated and proven wrong —
+			// Either the observations contradict the fault model (and,
+			// in a guarded attack, blame could not restore consistency),
+			// or every remaining model was enumerated and proven wrong —
 			// both impossible for genuine observations.
 			res.Status = Inconsistent
 			return res, nil
@@ -212,7 +450,7 @@ func (a *Attack) solvePractical(res Result) (Result, error) {
 // solveUnique implements the pure information-theoretic criterion:
 // recovered only if the model is unique over α.
 func (a *Attack) solveUnique(res Result) (Result, error) {
-	st := a.solver.Solve(a.guards...)
+	st := a.solveRobust()
 	switch st {
 	case sat.Unsat:
 		res.Status = Inconsistent
@@ -236,10 +474,11 @@ func (a *Attack) solveUnique(res Result) (Result, error) {
 		res.Status = Inconsistent
 		return res, nil
 	}
-	assume := append(append([]int(nil), a.guards...), -guard)
-	second := a.solver.Solve(assume...)
+	// The second solve must NOT re-enter the blame loop: Unsat here
+	// means the model is unique over α, not that an observation is bad.
+	second := a.solver.SolveContext(a.ctx, a.assumptions(-guard)...)
 	// Retire the blocking clause for all future solves.
-	a.guards = append(a.guards, guard)
+	a.retired = append(a.retired, guard)
 	switch second {
 	case sat.Unsat:
 		res.Status = Recovered
@@ -277,13 +516,19 @@ func (a *Attack) blockingClause(model []bool, guard int) []int {
 func (a *Attack) LastModel() []bool { return a.lastModel }
 
 // RecoveredFaults decodes every injected fault from the last model —
-// the paper's fault-identification capability.
+// the paper's fault-identification capability. Observations a guarded
+// attack evicted are reported with Evicted set and are not decoded:
+// their difference variables are unconstrained in the model.
 func (a *Attack) RecoveredFaults() ([]RecoveredFault, error) {
 	if a.lastModel == nil {
 		return nil, fmt.Errorf("core: no model available")
 	}
 	out := make([]RecoveredFault, a.builder.NumInstances())
 	for k := range out {
+		if len(a.obs) > k && !a.obs[k].active {
+			out[k] = RecoveredFault{Evicted: true}
+			continue
+		}
 		rf, err := a.builder.DecodeFault(a.lastModel, k)
 		if err != nil {
 			return nil, err
@@ -374,8 +619,7 @@ func (a *Attack) ProbeDetermined(indices []int) (int, error) {
 		if v {
 			flip = -flip
 		}
-		assume := append(append([]int(nil), a.guards...), flip)
-		if a.solver.Solve(assume...) == sat.Unsat {
+		if a.solver.SolveContext(a.ctx, a.assumptions(flip)...) == sat.Unsat {
 			determined++
 		}
 	}

@@ -50,6 +50,24 @@ type Config struct {
 	// the simplified batch is equivalent to the original batch, so
 	// incremental soundness is preserved (see Attack.sync).
 	Preprocess bool
+	// Guarded tags every faulty observation's clause batch with a fresh
+	// activation literal and solves under assumptions. When the
+	// accumulated observations turn Unsat — which for genuine in-model
+	// observations is impossible, so it indicates noise (a dud
+	// injection, a fault that smeared outside its window, a glitch in
+	// the wrong round) — the attack reads the solver's failed-assumption
+	// core, blames a minimal set of offending observations, evicts them
+	// by permanently deactivating their guards, and retries with the
+	// survivors instead of dying with Inconsistent. Evicted observation
+	// indices are reported in Result.EvictedFaults. Without Guarded the
+	// attack keeps the brittle fail-fast behaviour (one out-of-model
+	// observation is terminal), which is also marginally faster because
+	// observation clauses carry no extra guard literal.
+	Guarded bool
+	// MaxEvictions caps how many observations a guarded attack may
+	// evict over its lifetime; 0 means unlimited. When the cap would be
+	// exceeded the attack reports Inconsistent instead of evicting.
+	MaxEvictions int
 	// UniquenessCheck switches Solve to the information-theoretic
 	// criterion: recovery is declared only when the SAT model is
 	// provably unique. This is the probe used by the information-
@@ -119,6 +137,10 @@ type Result struct {
 	// CNF shape at solve time, for the size figures.
 	Vars    int
 	Clauses int
+	// EvictedFaults lists, cumulatively, the observation indices a
+	// guarded attack has quarantined as out-of-model (see
+	// Config.Guarded). Always nil for unguarded attacks.
+	EvictedFaults []int
 }
 
 // RecoveredFault is the solver's reconstruction of one injected fault.
@@ -127,4 +149,8 @@ type RecoveredFault struct {
 	// Silent marks a fault whose recovered value is zero (possible
 	// only when the model's at-least-one constraint is relaxed).
 	Silent bool
+	// Evicted marks an observation a guarded attack quarantined as
+	// out-of-model; its difference variables are unconstrained in the
+	// final model, so Fault carries no information.
+	Evicted bool
 }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// runGuardedEviction drives a relaxed byte-model attack in which one
+// observation is deliberately out-of-model (a digest of an unrelated
+// message) among genuine ones: the guarded attack must evict exactly
+// the guilty observation and still recover the ground-truth state.
+func runGuardedEviction(t *testing.T, portfolio int) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("solver-heavy test skipped under -race")
+	}
+	msg := []byte("guarded eviction round trip")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, 40, 11)
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	const guilty = 2
+	injs[guilty].FaultyDigest = keccak.Sum(mode, []byte("wildly out of model"))
+
+	cfg := DefaultConfig(mode, fault.Byte)
+	cfg.Guarded = true
+	cfg.Portfolio = portfolio
+	atk := NewAttack(cfg)
+	if err := atk.AddCorrect(correct); err != nil {
+		t.Fatal(err)
+	}
+	for i, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%3 != 0 { // solve every third fault to keep the test fast
+			continue
+		}
+		res, err := atk.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == Inconsistent {
+			t.Fatalf("guarded attack died Inconsistent after %d faults (evicted %v)",
+				i+1, res.EvictedFaults)
+		}
+		if res.Status != Recovered {
+			continue
+		}
+		if !res.ChiInput.Equal(&truth) {
+			t.Fatal("guarded attack recovered wrong state")
+		}
+		if len(res.EvictedFaults) != 1 || res.EvictedFaults[0] != guilty {
+			t.Fatalf("evicted %v, want exactly [%d]", res.EvictedFaults, guilty)
+		}
+		// The corrupted observation must be flagged, the survivors decodable.
+		rfs, err := atk.RecoveredFaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rfs[guilty].Evicted {
+			t.Fatalf("observation %d not flagged Evicted: %+v", guilty, rfs[guilty])
+		}
+		for k, rf := range rfs {
+			if k != guilty && rf.Evicted {
+				t.Fatalf("innocent observation %d flagged Evicted", k)
+			}
+		}
+		t.Logf("recovered after %d faults, evicted %v", i+1, res.EvictedFaults)
+		return
+	}
+	t.Fatalf("not recovered within %d faults (evicted so far: %v)", len(injs), atk.Evicted())
+}
+
+// TestGuardedEvictionSingleSolver: Inconsistent→blame→evict round trip
+// on the classic single solver.
+func TestGuardedEvictionSingleSolver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	runGuardedEviction(t, 0)
+}
+
+// TestGuardedEvictionPortfolio: the same round trip with the failed
+// core plumbed through the portfolio backend.
+func TestGuardedEvictionPortfolio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	runGuardedEviction(t, 3)
+}
+
+// TestGuardedDudObservation: a dud injection (faulty digest identical
+// to the correct one) violates the non-zero-difference constraint and
+// must be evicted rather than poisoning the attack.
+func TestGuardedDudObservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("solver-heavy test skipped under -race")
+	}
+	msg := []byte("dud injection")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, 40, 13)
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	const guilty = 0
+	injs[guilty].FaultyDigest = append([]byte(nil), correct...)
+
+	cfg := DefaultConfig(mode, fault.Byte)
+	cfg.Guarded = true
+	atk := NewAttack(cfg)
+	if err := atk.AddCorrect(correct); err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+		res, err := atk.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == Inconsistent {
+			t.Fatalf("dud observation not recovered from: evicted %v", res.EvictedFaults)
+		}
+		if res.Status == Recovered {
+			if !res.ChiInput.Equal(&truth) {
+				t.Fatal("recovered wrong state")
+			}
+			if len(res.EvictedFaults) != 1 || res.EvictedFaults[0] != guilty {
+				t.Fatalf("evicted %v, want exactly [%d]", res.EvictedFaults, guilty)
+			}
+			return
+		}
+	}
+	t.Fatal("not recovered despite dud eviction")
+}
+
+// TestGuardedMaxEvictionsCap: with a zero-tolerance cap the first
+// blame attempt must fail closed into Inconsistent.
+func TestGuardedMaxEvictionsCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, []byte("capped"), fault.Byte, 22, 3, 17)
+	// Two corrupted observations against a cap of one: the blame loop
+	// must evict at most one and then refuse.
+	injs[1].FaultyDigest = keccak.Sum(mode, []byte("noise"))
+	injs[2].FaultyDigest = keccak.Sum(mode, []byte("more noise"))
+
+	cfg := DefaultConfig(mode, fault.Byte)
+	cfg.Guarded = true
+	cfg.MaxEvictions = 1
+	atk := NewAttack(cfg)
+	if err := atk.AddCorrect(correct); err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range injs {
+		if err := atk.AddInjection(inj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := atk.SolveContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Inconsistent {
+		t.Fatalf("status = %s, want inconsistent once the eviction cap is hit", res.Status)
+	}
+	if len(atk.Evicted()) > 1 {
+		t.Fatalf("evicted %v exceeds cap of 1", atk.Evicted())
+	}
+}

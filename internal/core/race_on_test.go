@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled lets solver-heavy tests skip themselves under -race: the
+// instrumented solver is an order of magnitude slower, and the race
+// coverage they would add is already provided by the fast guarded
+// tests and the portfolio package's own stress tests.
+const raceEnabled = true

@@ -226,6 +226,10 @@ func (in *Injector) Sample() Fault {
 type Injection struct {
 	Fault        Fault
 	FaultyDigest []byte
+	// Kind is the simulator's ground truth about this injection (Clean
+	// unless produced by a noisy campaign) — used by experiments to
+	// score the attack's blame accuracy, never by the attack itself.
+	Kind InjectionKind
 }
 
 // Campaign hashes msg under mode, injecting n independent faults at

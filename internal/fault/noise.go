@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sha3afa/internal/keccak"
+)
+
+// This file models imperfect physical injection: real glitch campaigns
+// (clock/voltage) produce a fraction of injections that miss entirely
+// or corrupt the state in ways the assumed fault model cannot express.
+// The noisy injector stands in for that degradation so campaigns can
+// measure how the attack's recovery rate and fault budget respond as
+// the precise→random spectrum is traversed.
+
+// InjectionKind classifies a simulated injection relative to the
+// assumed fault model — ground truth the attacker never sees, used by
+// experiments to score blame accuracy.
+type InjectionKind int
+
+const (
+	// Clean: an in-model fault (non-zero pattern in one window of the
+	// fault round's θ input).
+	Clean InjectionKind = iota
+	// Dud: the injection failed; the state is untouched and the
+	// "faulty" digest equals the correct one. Out-of-model, because the
+	// model requires a non-zero difference.
+	Dud
+	// Violation: the state was corrupted outside the model — the fault
+	// pattern smeared across a window boundary, or the glitch landed
+	// one round early.
+	Violation
+)
+
+func (k InjectionKind) String() string {
+	switch k {
+	case Clean:
+		return "clean"
+	case Dud:
+		return "dud"
+	case Violation:
+		return "violation"
+	default:
+		return fmt.Sprintf("InjectionKind(%d)", int(k))
+	}
+}
+
+// Noise configures the out-of-model fraction of a simulated campaign.
+// Probabilities are per injection and mutually exclusive (a draw is a
+// dud, a violation, or clean); Dud+Violation must not exceed 1.
+type Noise struct {
+	// Dud is the probability an injection fails outright.
+	Dud float64
+	// Violation is the probability an injection corrupts the state
+	// outside the fault model (window smear or wrong round).
+	Violation float64
+}
+
+// Enabled reports whether any noise is configured.
+func (n Noise) Enabled() bool { return n.Dud > 0 || n.Violation > 0 }
+
+// Validate checks the probabilities are sane.
+func (n Noise) Validate() error {
+	if n.Dud < 0 || n.Violation < 0 || n.Dud+n.Violation > 1 {
+		return fmt.Errorf("fault: invalid noise %+v (need 0 <= dud, violation and dud+violation <= 1)", n)
+	}
+	return nil
+}
+
+func (n Noise) String() string {
+	return fmt.Sprintf("dud=%.0f%% violation=%.0f%%", 100*n.Dud, 100*n.Violation)
+}
+
+// NoisyInjector samples faults like Injector but degrades a configured
+// fraction of them into duds or model violations. The in-model fault
+// stream is drawn from its own generator, and all noise decisions from
+// a second one derived from the same seed — so for a fixed seed the
+// CLEAN injections are identical across noise levels (and to a plain
+// Injector), which keeps robustness sweeps paired.
+type NoisyInjector struct {
+	inj   *Injector
+	noise Noise
+	rng   *rand.Rand // noise decisions only
+}
+
+// NewNoisyInjector returns a deterministic noisy injector.
+func NewNoisyInjector(m Model, seed int64, noise Noise) *NoisyInjector {
+	if err := noise.Validate(); err != nil {
+		panic(err)
+	}
+	return &NoisyInjector{
+		inj:   NewInjector(m, seed),
+		noise: noise,
+		// A fixed odd constant decorrelates the two streams without
+		// losing determinism in the seed.
+		rng: rand.New(rand.NewSource(seed ^ 0x5deece66d)),
+	}
+}
+
+// Model returns the injector's fault model.
+func (ni *NoisyInjector) Model() Model { return ni.inj.Model() }
+
+// SampleNoisy draws one injection attempt. It returns the intended
+// in-model fault, the state difference actually injected, the round
+// offset of the injection (0 normally, -1 when the glitch landed one
+// round early), and the ground-truth kind. For a Dud the returned
+// delta is zero; callers should leave the computation unfaulted.
+func (ni *NoisyInjector) SampleNoisy() (f Fault, delta keccak.State, roundOff int, kind InjectionKind) {
+	f = ni.inj.Sample()
+	r := ni.rng.Float64()
+	switch {
+	case r < ni.noise.Dud:
+		return f, keccak.State{}, 0, Dud
+	case r < ni.noise.Dud+ni.noise.Violation:
+		delta, roundOff = ni.violate(f)
+		return f, delta, roundOff, Violation
+	default:
+		return f, f.Delta(), 0, Clean
+	}
+}
+
+// violate turns an intended fault into an out-of-model corruption:
+// half the time its pattern smears one bit across a window boundary,
+// half the time the full pattern lands one round early.
+func (ni *NoisyInjector) violate(f Fault) (delta keccak.State, roundOff int) {
+	delta = f.Delta()
+	if ni.rng.Intn(2) == 0 {
+		delta.SetBit(ni.smearBit(f), true)
+		return delta, 0
+	}
+	return delta, -1
+}
+
+// smearBit picks a state bit adjacent to the fault's window but
+// outside it, so the resulting difference spans two windows.
+func (ni *NoisyInjector) smearBit(f Fault) int {
+	w := f.Model.Width()
+	off := f.BitOffset()
+	if next := off + w; next < keccak.StateBits {
+		return next // first bit of the following window
+	}
+	return off - 1 // window at the state's end: spill backwards
+}
+
+// NoisyCampaign is Campaign under injection noise: it hashes msg under
+// mode, attempts n injections at the θ input of the given round, and
+// returns the observations with their ground-truth kinds. Dud attempts
+// yield the correct digest; violations yield digests no in-model fault
+// (almost surely) explains. With zero noise the injections equal those
+// of Campaign with the same seed.
+func NoisyCampaign(mode keccak.Mode, msg []byte, m Model, round, n int, seed int64, noise Noise) (correct []byte, injs []Injection) {
+	correct = keccak.Sum(mode, msg)
+	ni := NewNoisyInjector(m, seed, noise)
+	injs = make([]Injection, n)
+	for i := range injs {
+		flt, delta, roundOff, kind := ni.SampleNoisy()
+		injs[i] = Injection{Fault: flt, Kind: kind}
+		if kind == Dud {
+			injs[i].FaultyDigest = append([]byte(nil), correct...)
+			continue
+		}
+		injs[i].FaultyDigest = keccak.HashWithFault(mode, msg, round+roundOff, &delta)
+	}
+	return correct, injs
+}

@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"sha3afa/internal/keccak"
+)
+
+func TestNoiseValidate(t *testing.T) {
+	for _, n := range []Noise{{-0.1, 0}, {0, -0.1}, {0.6, 0.6}} {
+		if n.Validate() == nil {
+			t.Errorf("Noise%+v validated", n)
+		}
+	}
+	if err := (Noise{0.1, 0.05}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Noise{}).Enabled() {
+		t.Fatal("zero noise reports enabled")
+	}
+	if !(Noise{Dud: 0.1}).Enabled() {
+		t.Fatal("dud noise reports disabled")
+	}
+}
+
+func TestNoisyCampaignZeroNoiseMatchesCampaign(t *testing.T) {
+	mode, msg := keccak.SHA3_256, []byte("noise-free equivalence")
+	c1, i1 := Campaign(mode, msg, Byte, 22, 20, 99)
+	c2, i2 := NoisyCampaign(mode, msg, Byte, 22, 20, 99, Noise{})
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("correct digests differ")
+	}
+	for k := range i1 {
+		if i1[k].Fault != i2[k].Fault || !bytes.Equal(i1[k].FaultyDigest, i2[k].FaultyDigest) {
+			t.Fatalf("injection %d differs: %+v vs %+v", k, i1[k], i2[k])
+		}
+		if i2[k].Kind != Clean {
+			t.Fatalf("injection %d kind = %s, want clean", k, i2[k].Kind)
+		}
+	}
+}
+
+func TestNoisyCampaignCleanStreamPairedAcrossNoiseLevels(t *testing.T) {
+	// The intended fault stream must not depend on the noise level, so
+	// robustness sweeps compare like with like.
+	mode, msg := keccak.SHA3_256, []byte("paired streams")
+	_, quiet := NoisyCampaign(mode, msg, Byte, 22, 30, 7, Noise{})
+	_, loud := NoisyCampaign(mode, msg, Byte, 22, 30, 7, Noise{Dud: 0.3, Violation: 0.3})
+	for k := range quiet {
+		if quiet[k].Fault != loud[k].Fault {
+			t.Fatalf("intended fault %d differs across noise levels", k)
+		}
+		if loud[k].Kind == Clean && !bytes.Equal(quiet[k].FaultyDigest, loud[k].FaultyDigest) {
+			t.Fatalf("clean injection %d digest differs across noise levels", k)
+		}
+	}
+}
+
+func TestNoisyCampaignGroundTruth(t *testing.T) {
+	mode, msg := keccak.SHA3_256, []byte("ground truth")
+	correct, injs := NoisyCampaign(mode, msg, Byte, 22, 400, 5, Noise{Dud: 0.10, Violation: 0.05})
+	var duds, violations, cleans int
+	for _, inj := range injs {
+		switch inj.Kind {
+		case Dud:
+			duds++
+			if !bytes.Equal(inj.FaultyDigest, correct) {
+				t.Fatal("dud digest differs from correct digest")
+			}
+		case Violation:
+			violations++
+			if bytes.Equal(inj.FaultyDigest, correct) {
+				t.Fatal("violation produced the correct digest")
+			}
+		default:
+			cleans++
+			delta := inj.Fault.Delta()
+			want := keccak.HashWithFault(mode, msg, 22, &delta)
+			if !bytes.Equal(inj.FaultyDigest, want) {
+				t.Fatal("clean injection digest does not match its fault")
+			}
+		}
+	}
+	// Seeded draws: the realized rates must be in the right ballpark.
+	if duds < 20 || duds > 70 {
+		t.Fatalf("dud count %d implausible for p=0.10 over 400", duds)
+	}
+	if violations < 5 || violations > 45 {
+		t.Fatalf("violation count %d implausible for p=0.05 over 400", violations)
+	}
+	if cleans == 0 {
+		t.Fatal("no clean injections")
+	}
+}
+
+func TestViolationsAreOutOfModel(t *testing.T) {
+	// Window-smear violations must not decode as any in-model fault.
+	ni := NewNoisyInjector(Byte, 3, Noise{Violation: 1})
+	smears := 0
+	for i := 0; i < 200; i++ {
+		f, delta, roundOff, kind := ni.SampleNoisy()
+		if kind != Violation {
+			t.Fatalf("kind = %s, want violation", kind)
+		}
+		if roundOff == -1 {
+			// Wrong-round violation: the delta itself is in-model; the
+			// violation is temporal.
+			if _, err := FaultFromDelta(Byte, &delta); err != nil {
+				t.Fatalf("wrong-round delta should be in-model: %v", err)
+			}
+			continue
+		}
+		smears++
+		if _, err := FaultFromDelta(Byte, &delta); err == nil {
+			t.Fatalf("smeared delta of %v decodes as an in-model fault", f)
+		}
+	}
+	if smears == 0 {
+		t.Fatal("no smear violations sampled")
+	}
+}
+
+func TestInjectionKindStrings(t *testing.T) {
+	for k, want := range map[InjectionKind]string{Clean: "clean", Dud: "dud", Violation: "violation"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

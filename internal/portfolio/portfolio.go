@@ -89,6 +89,7 @@ type Portfolio struct {
 	last    []sat.Status
 	winner  int
 	model   []bool
+	failed  []int // winner's failed-assumption core from the last Unsat
 }
 
 // New returns an empty portfolio of diversified solvers.
@@ -163,6 +164,7 @@ func (p *Portfolio) Solve(assumptions ...int) sat.Status {
 // member is interrupted and Unknown is returned.
 func (p *Portfolio) SolveContext(ctx context.Context, assumptions ...int) sat.Status {
 	p.winner = -1
+	p.failed = nil
 	for i := range p.last {
 		p.last[i] = sat.Unknown
 	}
@@ -174,6 +176,7 @@ func (p *Portfolio) SolveContext(ctx context.Context, assumptions ...int) sat.St
 			p.model = append(p.model[:0], p.solvers[0].Model()...)
 		} else if st == sat.Unsat {
 			p.winner = 0
+			p.failed = p.solvers[0].FailedAssumptions()
 		}
 		return st
 	}
@@ -213,6 +216,10 @@ func (p *Portfolio) SolveContext(ctx context.Context, assumptions ...int) sat.St
 					// The winner's goroutine finished before sending on
 					// the channel, so reading its model is race-free.
 					p.model = append(p.model[:0], p.solvers[o.id].Model()...)
+				} else {
+					// Unsat: capture the winner's failed-assumption core
+					// (race-free for the same reason as the model read).
+					p.failed = p.solvers[o.id].FailedAssumptions()
 				}
 				for j, s := range p.solvers {
 					if j != o.id {
@@ -243,6 +250,17 @@ func (p *Portfolio) Model() []bool { return p.model }
 // Winner returns the index of the member that decided the last Solve,
 // or -1 if none did.
 func (p *Portfolio) Winner() int { return p.winner }
+
+// FailedAssumptions returns, after an Unsat result from a Solve with
+// assumptions, the winning member's failed-assumption core: a subset
+// of the assumptions already sufficient for unsatisfiability. Which
+// core is returned depends on which member won the race, but every
+// member's core is a valid core of the same formula, so callers may
+// act on any of them. Empty when the formula is unsatisfiable on its
+// own.
+func (p *Portfolio) FailedAssumptions() []int {
+	return append([]int(nil), p.failed...)
+}
 
 // Stats reports each member's accumulated counters and last outcome.
 func (p *Portfolio) Stats() []SolverStat {
