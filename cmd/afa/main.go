@@ -18,12 +18,19 @@
 // make long experiment batches survive a kill; -cpuprofile/-memprofile
 // write runtime/pprof profiles. SIGINT cancels cleanly: running solves
 // are interrupted and partial tables stay flushed.
+//
+// Observability (see internal/obs): -trace out.jsonl streams every
+// event (solver progress, portfolio wins, attack phase spans, campaign
+// run records) as JSONL; -progress prints a live work ticker to
+// stderr; -debug-addr :6060 serves /debug/metrics, /debug/trace and
+// /debug/pprof/* while the campaign runs.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +42,7 @@ import (
 	"sha3afa/internal/core"
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
 )
 
 func main() {
@@ -49,7 +57,7 @@ func run() int {
 	seed := flag.Int64("seed", 1, "campaign seed (message and fault stream)")
 	maxFaults := flag.Int("max-faults", 80, "fault budget")
 	knownPos := flag.Bool("known-position", false, "precise (non-relaxed) fault position")
-	experiment := flag.String("experiment", "", "regenerate a table/figure: t1,t2,t3,t4,f1,f2,f3,f4,a1,a2,e1,e2,c1,c2,p3 (p3 = noise robustness)")
+	experiment := flag.String("experiment", "", "regenerate a table/figure: t1,t2,t3,t4,f1,f2,f3,f4,a1,a2,e1,e2,c1,c2,p3,p4 (p3 = noise robustness, p4 = phase breakdown)")
 	seeds := flag.Int("seeds", 3, "seeds per cell for -experiment")
 	workers := flag.Int("workers", 1, "parallel campaign repetitions (experiments)")
 	members := flag.Int("portfolio", 0, "race N diversified SAT solvers per solve (0/1 = single)")
@@ -61,6 +69,9 @@ func run() int {
 	resume := flag.Bool("resume", false, "load existing checkpoints instead of re-running (requires -checkpoint)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
+	traceFile := flag.String("trace", "", "stream observability events to this JSONL file")
+	progress := flag.Bool("progress", false, "print a live progress ticker to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/trace and /debug/pprof on this address (e.g. :6060)")
 	verbose := flag.Bool("v", false, "print per-solver statistics")
 	flag.Parse()
 
@@ -82,6 +93,41 @@ func run() int {
 
 	campaign.SetWorkers(*workers)
 	campaign.SetContext(ctx)
+
+	// Observability: one shared recorder feeds the JSONL sink, the live
+	// ticker and the debug endpoint; every campaign run in this process
+	// emits through it (campaign.SetRecorder).
+	if *traceFile != "" || *progress || *debugAddr != "" {
+		var sink io.Writer
+		if *traceFile != "" {
+			tf, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			defer tf.Close()
+			sink = tf
+		}
+		rec := obs.NewTrace(sink, 4096)
+		campaign.SetRecorder(rec)
+		defer func() {
+			if err := rec.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace sink error:", err)
+			}
+		}()
+		if *debugAddr != "" {
+			ds, err := rec.ServeDebug(*debugAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			defer ds.Close()
+			fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/metrics\n", ds.Addr)
+		}
+		if *progress {
+			defer obs.StartProgress(rec, os.Stderr, 2*time.Second)()
+		}
+	}
 
 	if *experiment != "" {
 		code := runExperiment(*experiment, *seeds, *checkpoint, *resume)
@@ -191,6 +237,9 @@ func runExperiment(name string, seeds int, checkpoint string, resume bool) int {
 	switch name {
 	case "p3":
 		campaign.TableRobustness(w, seeds, 80, checkpoint, resume)
+		return 0
+	case "p4":
+		campaign.TablePhases(w, seeds, 80)
 		return 0
 	case "t1":
 		campaign.Table1(w, seeds, 80, 400)

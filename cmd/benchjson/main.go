@@ -13,15 +13,24 @@
 //
 // -short drops the attack-CNF workloads (minutes of solving) so CI
 // can validate the harness and the JSON schema in seconds.
+//
+// -obs FILE switches to the instrumentation-overhead guard: the same
+// workload is solved with the observability recorder detached and
+// attached, the comparison is written to FILE (BENCH_obs.json), and
+// the process exits non-zero when the attached run is more than
+// -max-overhead percent slower — the CI tripwire for internal/obs's
+// "disabled path costs one branch" contract.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -29,6 +38,7 @@ import (
 	"sha3afa/internal/core"
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
 	"sha3afa/internal/portfolio"
 	"sha3afa/internal/sat"
 )
@@ -53,7 +63,13 @@ type benchFile struct {
 func main() {
 	short := flag.Bool("short", false, "skip the attack-CNF workloads (CI smoke)")
 	out := flag.String("out", "BENCH_solver.json", "output JSON path")
+	obsOut := flag.String("obs", "", "write a recorder-on vs recorder-off overhead comparison to this JSON path and exit")
+	maxOverhead := flag.Float64("max-overhead", 5, "with -obs: exit non-zero when recorder overhead exceeds this percentage")
 	flag.Parse()
+
+	if *obsOut != "" {
+		os.Exit(runObsComparison(*obsOut, *short, *maxOverhead))
+	}
 
 	var results []benchResult
 	measure := func(name string, fn func(b *testing.B)) {
@@ -118,6 +134,106 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+// obsFile is the BENCH_obs.json schema: one workload solved twice,
+// with the recorder detached and attached.
+type obsFile struct {
+	Generated      string  `json:"generated"`
+	GoVersion      string  `json:"go_version"`
+	NumCPU         int     `json:"num_cpu"`
+	Short          bool    `json:"short"`
+	Workload       string  `json:"workload"`
+	RecorderOffNs  float64 `json:"recorder_off_ns"`
+	RecorderOnNs   float64 `json:"recorder_on_ns"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	MaxOverheadPct float64 `json:"max_overhead_pct"`
+}
+
+// runObsComparison measures the observability overhead: the same
+// workload solved with no recorder versus with a ring-only obs.Trace
+// attached (JSONL sink = io.Discard, the most expensive attached
+// configuration that stays I/O-free). Variants run as adjacent
+// off/on pairs; the gate compares the median per-pair ratio while
+// recorder_{off,on}_ns record the per-variant means.
+func runObsComparison(out string, short bool, maxPct float64) int {
+	workload := "SolveAttackInstance"
+	f := attackFormula(8)
+	want := sat.Sat
+	if short {
+		workload = "Planted3SAT600"
+		f = planted3SAT(600, 2400, 11)
+	}
+	off := solveBench(f, want)
+	on := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := sat.FromFormula(f, sat.Options{})
+			s.SetRecorder(obs.NewTrace(io.Discard, 256), "sat")
+			if st := s.Solve(); st != want {
+				b.Fatalf("status = %v, want %v", st, want)
+			}
+		}
+	}
+	nsPerOp := func(r testing.BenchmarkResult) float64 {
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	// The solver is deterministic, so all run-to-run variance is
+	// environmental — machine-speed drift swings identical runs by
+	// >10%, far above any true recorder overhead. Two defenses: the
+	// variants run as adjacent off/on pairs (drift within a pair mostly
+	// cancels in its ratio), and the gate uses the *median* of the
+	// per-pair ratios, which votes out pairs that straddled a speed
+	// step. Means/mins across independent samples fail here — each
+	// side just fishes for its own lucky outlier.
+	reps := 5
+	if !short {
+		reps = 3 // each full pair is ~45s of solving
+	}
+	var offTotal, onTotal float64
+	ratios := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		o := nsPerOp(testing.Benchmark(off))
+		fmt.Fprintf(os.Stderr, "obs rep %d: %s recorder-off %.3fms\n", rep+1, workload, o/1e6)
+		n := nsPerOp(testing.Benchmark(on))
+		fmt.Fprintf(os.Stderr, "obs rep %d: %s recorder-on  %.3fms (pair ratio %+.2f%%)\n",
+			rep+1, workload, n/1e6, 100*(n-o)/o)
+		offTotal += o
+		onTotal += n
+		ratios = append(ratios, n/o)
+	}
+	sort.Float64s(ratios)
+	overhead := 100 * (ratios[len(ratios)/2] - 1)
+	offNs := offTotal / float64(reps)
+	onNs := onTotal / float64(reps)
+	file := obsFile{
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		Short:          short,
+		Workload:       workload,
+		RecorderOffNs:  offNs,
+		RecorderOnNs:   onNs,
+		OverheadPct:    overhead,
+		MaxOverheadPct: maxPct,
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("wrote %s: %s off=%.3fms on=%.3fms overhead=%+.2f%%\n",
+		out, workload, offNs/1e6, onNs/1e6, overhead)
+	if overhead > maxPct {
+		fmt.Fprintf(os.Stderr, "observability overhead %.2f%% exceeds the %.0f%% budget\n", overhead, maxPct)
+		return 1
+	}
+	return 0
 }
 
 // solveBench returns a benchmark that solves the formula from scratch

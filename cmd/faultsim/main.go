@@ -11,6 +11,11 @@
 // The -noise-* flags degrade the injector the way an imperfect glitch
 // setup would (failed injections, out-of-model corruptions) and report
 // per-kind statistics alongside the diffusion histogram.
+//
+// -trace out.jsonl streams one "faultsim.trial" event per injection
+// (kind, digest difference weight) plus a closing "faultsim.summary"
+// event, in the same JSONL schema the other commands emit (see
+// internal/obs).
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
 )
 
 func main() {
@@ -31,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "PRNG seed")
 	noiseDud := flag.Float64("noise-dud", 0, "probability an injection fails outright (dud)")
 	noiseViolation := flag.Float64("noise-violation", 0, "probability an injection violates the fault model")
+	traceFile := flag.String("trace", "", "stream per-trial injection events to this JSONL file")
 	flag.Parse()
 
 	mode, err := keccak.ParseMode(*modeName)
@@ -47,6 +54,17 @@ func main() {
 	if err := noise.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	var rec *obs.Trace
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer tf.Close()
+		rec = obs.NewTrace(tf, 0)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -93,6 +111,27 @@ func main() {
 			maxDiff = diff
 		}
 		hist[diff*10/d]++
+		if rec != nil {
+			rec.Emit("faultsim", "faultsim.trial",
+				obs.F("trial", i),
+				obs.F("kind", kind.String()),
+				obs.F("diff_bits", diff),
+				obs.F("round_off", roundOff))
+		}
+	}
+	if rec != nil {
+		rec.Emit("faultsim", "faultsim.summary",
+			obs.F("mode", mode.String()),
+			obs.F("model", model.String()),
+			obs.F("trials", *trials),
+			obs.F("duds", duds),
+			obs.F("violations", violations),
+			obs.F("wrong_round", wrongRound),
+			obs.F("silent", silent),
+			obs.F("mean_diff_bits", float64(totalDiff)/float64(*trials)))
+		if err := rec.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace sink error:", err)
+		}
 	}
 
 	fmt.Printf("fault diffusion: %s, %s model, fault at θ input of round %d, %d trials\n",

@@ -11,46 +11,109 @@
 // -stats reports each member's work. -preprocess runs the SatELite-
 // style simplifier before solving. -cpuprofile/-memprofile write
 // runtime/pprof profiles for perf work.
+//
+// SIGINT interrupts the solve cleanly: the solver stops at the next
+// conflict boundary, and a snapshot of the work done so far (conflicts,
+// decisions, propagations — per member under -portfolio) is printed
+// before the process exits with "s UNKNOWN".
+//
+// Observability (see internal/obs): -trace out.jsonl streams solver
+// progress and portfolio win events as JSONL; -progress prints a live
+// work ticker to stderr; -debug-addr :6060 serves /debug/metrics,
+// /debug/trace and /debug/pprof/* during the solve.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"sha3afa/internal/cnf"
+	"sha3afa/internal/obs"
 	"sha3afa/internal/portfolio"
 	"sha3afa/internal/sat"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main so deferred cleanup (profiles, trace sink,
+// progress ticker) happens on every exit path.
+func run() int {
 	timeout := flag.Duration("timeout", 0, "solving timeout (0 = none)")
 	stats := flag.Bool("stats", false, "print solver statistics")
 	members := flag.Int("portfolio", 0, "race N diversified solvers with clause sharing (0/1 = single solver)")
 	preprocess := flag.Bool("preprocess", false, "simplify the formula (units/subsumption/strengthening) before solving")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
+	traceFile := flag.String("trace", "", "stream observability events to this JSONL file")
+	progress := flag.Bool("progress", false, "print a live progress ticker to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/trace and /debug/pprof on this address (e.g. :6060)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: satsolve [flags] instance.cnf")
-		os.Exit(2)
+		return 2
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	form, err := cnf.ParseDIMACS(f)
 	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
-	stopProf := startProfiles(*cpuprofile, *memprofile)
+	defer startProfiles(*cpuprofile, *memprofile)()
+
+	var rec *obs.Trace
+	if *traceFile != "" || *progress || *debugAddr != "" {
+		var sink io.Writer
+		if *traceFile != "" {
+			tf, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			defer tf.Close()
+			sink = tf
+		}
+		rec = obs.NewTrace(sink, 4096)
+		defer func() {
+			if err := rec.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace sink error:", err)
+			}
+		}()
+		if *debugAddr != "" {
+			ds, err := rec.ServeDebug(*debugAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			defer ds.Close()
+			fmt.Fprintf(os.Stderr, "c debug endpoint on http://%s/debug/metrics\n", ds.Addr)
+		}
+		if *progress {
+			defer obs.StartProgress(rec, os.Stderr, 2*time.Second)()
+		}
+	}
+
+	// SIGINT/SIGTERM interrupts the solve at the next conflict boundary;
+	// the partial-work snapshot below still runs because the solver
+	// returns Unknown instead of the process dying mid-search. A second
+	// signal falls back to the runtime's default hard kill.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *preprocess {
 		start := time.Now()
@@ -66,33 +129,48 @@ func main() {
 		st    sat.Status
 		model []bool
 	)
+	// The partial-stats snapshot printed on interrupt (and under -stats
+	// on normal completion): one line per solver.
+	var snapshot func(w io.Writer)
+	start := time.Now()
 	if *members > 1 {
-		res := portfolio.Solve(form, portfolio.Options{
-			Workers: *members,
-			Base:    sat.Options{Timeout: *timeout},
+		res := portfolio.SolveContext(ctx, form, portfolio.Options{
+			Workers:  *members,
+			Base:     sat.Options{Timeout: *timeout},
+			Recorder: obsRecorder(rec),
 		})
 		st, model = res.Status, res.Model
-		if *stats {
-			fmt.Printf("c time=%v members=%d winner=%d\n",
+		snapshot = func(w io.Writer) {
+			fmt.Fprintf(w, "c time=%v members=%d winner=%d\n",
 				res.WallTime.Round(time.Millisecond), len(res.Solvers), res.Winner)
 			for _, m := range res.Solvers {
-				fmt.Printf("c %s\n", m)
+				fmt.Fprintf(w, "c %s\n", m)
 			}
 		}
 	} else {
 		solver := sat.FromFormula(form, sat.Options{Timeout: *timeout})
-		start := time.Now()
-		st = solver.Solve()
-		elapsed := time.Since(start)
+		if rec != nil {
+			solver.SetRecorder(rec, "sat")
+		}
+		st = solver.SolveContext(ctx)
 		model = solver.Model()
-		if *stats {
+		snapshot = func(w io.Writer) {
 			s := solver.Stats()
-			fmt.Printf("c time=%v conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d\n",
-				elapsed.Round(time.Millisecond), s.Conflicts, s.Decisions, s.Propagations, s.Restarts, s.Learned)
+			fmt.Fprintf(w, "c time=%v conflicts=%d decisions=%d propagations=%d restarts=%d learned=%d\n",
+				time.Since(start).Round(time.Millisecond), s.Conflicts, s.Decisions, s.Propagations, s.Restarts, s.Learned)
 		}
 	}
 
-	stopProf()
+	interrupted := ctx.Err() != nil && st == sat.Unknown
+	if interrupted {
+		// The user asked for the plug to be pulled: show what the solver
+		// had done up to that point, -stats or not.
+		fmt.Println("c interrupted — partial statistics:")
+		snapshot(os.Stdout)
+	} else if *stats {
+		snapshot(os.Stdout)
+	}
+
 	switch st {
 	case sat.Sat:
 		fmt.Println("s SATISFIABLE")
@@ -109,18 +187,31 @@ func main() {
 			}
 		}
 		fmt.Println(line + " 0")
-		os.Exit(10)
+		return 10
 	case sat.Unsat:
 		fmt.Println("s UNSATISFIABLE")
-		os.Exit(20)
+		return 20
 	default:
 		fmt.Println("s UNKNOWN")
-		os.Exit(0)
+		if interrupted {
+			return 130
+		}
+		return 0
 	}
 }
 
+// obsRecorder converts the concrete trace to the interface without the
+// typed-nil foot-gun: a nil *Trace must become a nil interface so the
+// portfolio's "recorder attached?" checks stay meaningful.
+func obsRecorder(t *obs.Trace) obs.Recorder {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
 // startProfiles arms the requested pprof outputs and returns the stop
-// function to call before exiting (os.Exit skips defers).
+// function that flushes them.
 func startProfiles(cpu, mem string) func() {
 	if cpu != "" {
 		f, err := os.Create(cpu)

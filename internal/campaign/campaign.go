@@ -16,6 +16,7 @@ import (
 	"sha3afa/internal/dfa"
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
 	"sha3afa/internal/portfolio"
 )
 
@@ -31,8 +32,15 @@ type AFARun struct {
 	FaultsUsed  int // faults consumed until recovery (== MaxFaults when not recovered)
 	TotalTime   time.Duration
 	SolveTime   time.Duration // cumulative SAT time
-	Vars        int           // final CNF size
-	Clauses     int
+	// Conflicts/Propagations aggregate solver effort across all members
+	// of the final attempt. Together with the wall-clock fields above
+	// they are part of the checkpoint JSON, so a resumed batch
+	// reproduces the full Summary — timing and effort columns included —
+	// without re-running anything.
+	Conflicts    int64
+	Propagations int64
+	Vars         int // final CNF size
+	Clauses      int
 	FaultsIdent int // faults whose (window,value) the final model reproduced exactly
 	MessageOK   bool
 	// Evicted counts observations the guarded attack quarantined as
@@ -79,6 +87,11 @@ type AFAOptions struct {
 	// Resume makes RunAFABatch load existing checkpoint records
 	// instead of re-running their campaigns.
 	Resume bool
+	// Recorder, when non-nil, receives a "campaign.run" event per run
+	// plus everything the attack layers emit (see internal/obs). When
+	// nil, the process-wide recorder (SetRecorder) is consulted, so
+	// emitters with io.Writer-only signatures still trace.
+	Recorder obs.Recorder
 	// Config overrides; zero value uses core.DefaultConfig.
 	Config *core.Config
 }
@@ -115,6 +128,15 @@ func RunAFA(mode keccak.Mode, model fault.Model, seed int64, opts AFAOptions) AF
 // stops the fault stream, marking the run canceled.
 func RunAFACtx(ctx context.Context, mode keccak.Mode, model fault.Model, seed int64, opts AFAOptions) (run AFARun) {
 	run = AFARun{Mode: mode, Model: model, Seed: seed, Noise: opts.Noise}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = ActiveRecorder()
+	}
+	if rec != nil {
+		// Registered before the recover and TotalTime defers so it runs
+		// after both: the run record sees the final Err and timing.
+		defer func() { emitRunRecord(rec, &run) }()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			run.Err = fmt.Sprintf("panic: %v", r)
@@ -152,6 +174,9 @@ func RunAFACtx(ctx context.Context, mode keccak.Mode, model fault.Model, seed in
 		cfg = core.DefaultConfig(mode, model)
 	}
 	cfg.Mode, cfg.Model = mode, model
+	if cfg.Recorder == nil {
+		cfg.Recorder = rec
+	}
 	if opts.Noise.Enabled() {
 		// Noisy observations would otherwise turn the attack terminally
 		// Inconsistent: arm the guarded engine so they get evicted.
@@ -171,6 +196,34 @@ func RunAFACtx(ctx context.Context, mode keccak.Mode, model fault.Model, seed in
 	}
 }
 
+// emitRunRecord reports one finished campaign run to the recorder: the
+// per-run event the trace golden test keys on, plus the aggregate
+// counters the live progress ticker displays.
+func emitRunRecord(rec obs.Recorder, run *AFARun) {
+	m := rec.Metrics()
+	m.Counter("campaign.runs").Inc()
+	if run.Recovered {
+		m.Counter("campaign.recovered").Inc()
+	}
+	fields := []obs.Field{
+		obs.F("mode", run.Mode.String()),
+		obs.F("model", run.Model.String()),
+		obs.F("seed", run.Seed),
+		obs.F("recovered", run.Recovered),
+		obs.F("faults", run.FaultsUsed),
+		obs.F("conflicts", run.Conflicts),
+		obs.F("propagations", run.Propagations),
+		obs.F("evicted", run.Evicted),
+		obs.F("retries", run.Retries),
+		obs.F("total_ms", float64(run.TotalTime.Microseconds())/1e3),
+		obs.F("solve_ms", float64(run.SolveTime.Microseconds())/1e3),
+	}
+	if run.Err != "" {
+		fields = append(fields, obs.F("err", run.Err))
+	}
+	rec.Emit("campaign", "campaign.run", fields...)
+}
+
 // runAFAAttempt streams the observations into one fresh attack session
 // and fills the run record. It reports whether any solve exhausted its
 // budget (the signal for escalation).
@@ -184,6 +237,11 @@ func runAFAAttempt(ctx context.Context, run *AFARun, cfg core.Config, correct []
 	finish := func(n int) {
 		run.FaultsUsed = n
 		run.Solvers = atk.SolverStats()
+		run.Conflicts, run.Propagations = 0, 0
+		for _, st := range run.Solvers {
+			run.Conflicts += st.Stats.Conflicts
+			run.Propagations += st.Stats.Propagations
+		}
 		evicted := atk.Evicted()
 		run.Evicted, run.EvictedOK = len(evicted), 0
 		for _, k := range evicted {
@@ -357,6 +415,13 @@ type Summary struct {
 	AvgFaults  float64 // over recovered runs
 	AvgTime    time.Duration
 	Infeasible bool
+	// Effort columns, averaged over recovered runs (AFA only; zero for
+	// DFA). They come straight from the run records, so a resumed batch
+	// reproduces them from checkpoints without re-running.
+	AvgSolveTime    time.Duration
+	AvgConflicts    float64
+	AvgPropagations float64
+	AvgEvicted      float64
 	// Errors counts runs that failed outright (panic, setup error,
 	// cancellation). They are excluded from the recovery statistics: an
 	// aborted run says nothing about the attack's fault requirements.
@@ -367,8 +432,9 @@ type Summary struct {
 func SummarizeAFA(runs []AFARun) Summary {
 	var s Summary
 	s.Runs = len(runs)
-	var faults int
-	var total time.Duration
+	var faults, evicted int
+	var total, solve time.Duration
+	var conflicts, propagations int64
 	for _, r := range runs {
 		if r.Err != "" {
 			s.Errors++
@@ -378,11 +444,20 @@ func SummarizeAFA(runs []AFARun) Summary {
 			s.Recovered++
 			faults += r.FaultsUsed
 			total += r.TotalTime
+			solve += r.SolveTime
+			conflicts += r.Conflicts
+			propagations += r.Propagations
+			evicted += r.Evicted
 		}
 	}
 	if s.Recovered > 0 {
+		n := time.Duration(s.Recovered)
 		s.AvgFaults = float64(faults) / float64(s.Recovered)
-		s.AvgTime = total / time.Duration(s.Recovered)
+		s.AvgTime = total / n
+		s.AvgSolveTime = solve / n
+		s.AvgConflicts = float64(conflicts) / float64(s.Recovered)
+		s.AvgPropagations = float64(propagations) / float64(s.Recovered)
+		s.AvgEvicted = float64(evicted) / float64(s.Recovered)
 	}
 	return s
 }

@@ -8,6 +8,7 @@ import (
 
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
 )
 
 // The campaign worker pool: independent repetitions of an experiment
@@ -53,6 +54,30 @@ func Context() context.Context {
 		return ctx
 	}
 	return context.Background()
+}
+
+// obsRec is the process-wide observability recorder, mirroring
+// batchCtx: the emitters have stable io.Writer-only signatures, so the
+// CLI arms tracing once (SetRecorder with the -trace/-progress/-debug
+// recorder) and every campaign run started by any emitter emits
+// through it. The recorder is shared by the whole worker pool, which
+// obs.Trace supports (all methods are safe for concurrent use).
+var obsRec atomic.Value // recBox
+
+// recBox keeps atomic.Value happy: it requires a consistent concrete
+// type, which a bare interface value would violate.
+type recBox struct{ r obs.Recorder }
+
+// SetRecorder installs the process-wide recorder every subsequent
+// campaign run emits through; nil disables recording again.
+func SetRecorder(r obs.Recorder) { obsRec.Store(recBox{r}) }
+
+// ActiveRecorder returns the process-wide recorder (nil = off).
+func ActiveRecorder() obs.Recorder {
+	if b, ok := obsRec.Load().(recBox); ok {
+		return b.r
+	}
+	return nil
 }
 
 // forEachIndex runs fn(0) … fn(n-1) across Workers() goroutines under

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sha3afa/internal/core"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
+)
+
+// TablePhases — experiment P4: where an attack's wall clock goes, per
+// SHA-3 mode, under the single-byte model. Each mode's batch runs with
+// its own metrics-only recorder (no ring, no sink), so the phase
+// timers — fed by the attack.{encode,preprocess,solve,decode} spans —
+// aggregate exactly that mode's runs. Preprocessing is armed so all
+// four phases are exercised; known fault positions keep an all-modes
+// sweep inside a single-core budget (the P3 precedent — the phase
+// *split* is what this table measures, and the relaxed attack only
+// shifts more of it into solve). The emitter installs its own per-mode
+// recorders; a process-wide recorder (SetRecorder) still sees the
+// campaign.run records because those resolve through AFAOptions first.
+func TablePhases(w io.Writer, seeds, maxFaults int) {
+	w = LockWriter(w)
+	fmt.Fprintf(w, "P4: phase-time breakdown, single-byte model, known positions, preprocessing on (seeds=%d)\n", seeds)
+	fmt.Fprintf(w, "%-10s | %-9s | %-12s | %-12s | %-12s | %-12s | %s\n",
+		"mode", "recovered", "encode", "preprocess", "solve", "decode", "conflicts")
+	for _, mode := range keccak.FixedModes {
+		tr := obs.NewTrace(nil, 0)
+		cfg := core.DefaultConfig(mode, fault.Byte)
+		cfg.KnownPosition = true
+		cfg.Preprocess = true
+		// Same budget/stride scaling as Table1: shorter digests carry
+		// less information per fault, so the sweep needs more of them
+		// and solves less often.
+		budget, stride := maxFaults, 1
+		if mode.DigestBits() < 384 {
+			budget, stride = maxFaults*2, 4
+		}
+		runs := RunAFABatch(mode, fault.Byte, 11000, seeds, AFAOptions{
+			MaxFaults:  budget,
+			SolveEvery: stride,
+			Recorder:   tr,
+			Config:     &cfg,
+		})
+		recovered := 0
+		for _, r := range runs {
+			if r.Recovered {
+				recovered++
+			}
+		}
+		snap := tr.Metrics().Snapshot()
+		phases := []string{"attack.encode", "attack.preprocess", "attack.solve", "attack.decode"}
+		var totals [4]float64
+		var sum float64
+		for i, name := range phases {
+			totals[i] = snap.Timers[name].TotalMS
+			sum += totals[i]
+		}
+		fmt.Fprintf(w, "%-10s | %4d/%-4d", mode, recovered, len(runs))
+		for i := range phases {
+			pct := 0.0
+			if sum > 0 {
+				pct = 100 * totals[i] / sum
+			}
+			fmt.Fprintf(w, " | %8s %2.0f%%", msDur(totals[i]).Round(time.Millisecond), pct)
+		}
+		fmt.Fprintf(w, " | %d\n", snap.Counters["sat.conflicts"])
+	}
+}
+
+// msDur converts a millisecond float (the timer unit) to a Duration.
+func msDur(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}

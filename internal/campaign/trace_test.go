@@ -1,0 +1,193 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"sha3afa/internal/core"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
+)
+
+// TestSharedRecorderConcurrency feeds ONE recorder from everything that
+// can emit concurrently: four campaign workers, each running an attack
+// whose two portfolio members also emit solver progress. Tiny conflict
+// budgets keep it fast; run with -race to make it a real data-race
+// check (the -race CI job runs the full matrix of emitters through
+// this single shared obs.Trace).
+func TestSharedRecorderConcurrency(t *testing.T) {
+	tr := obs.NewTrace(io.Discard, 128)
+	SetWorkers(4)
+	defer SetWorkers(1)
+	cfg := core.DefaultConfig(keccak.SHA3_512, fault.Byte)
+	cfg.KnownPosition = true
+	cfg.Portfolio = 2
+	cfg.SolverOptions.MaxConflicts = 200
+	cfg.SolverOptions.ProgressEvery = 32
+	runs := RunAFABatch(keccak.SHA3_512, fault.Byte, 700, 4, AFAOptions{
+		MaxFaults:  6,
+		SolveEvery: 3,
+		Recorder:   tr,
+		Config:     &cfg,
+	})
+	for i, r := range runs {
+		if r.Err != "" {
+			t.Fatalf("run %d failed: %s", i, r.Err)
+		}
+	}
+	snap := tr.Metrics().Snapshot()
+	if snap.Counters["campaign.runs"] != 4 {
+		t.Fatalf("campaign.runs = %d, want 4", snap.Counters["campaign.runs"])
+	}
+	if snap.Counters["portfolio.solves"] == 0 {
+		t.Fatal("portfolio emitted no win events")
+	}
+	if total, _ := tr.Totals(); total == 0 {
+		t.Fatal("no events emitted")
+	}
+}
+
+// TestCheckpointKeepsEffortFields: the wall-clock and solver-effort
+// fields ride the checkpoint JSON, so a resumed batch reproduces the
+// full Summary — timing and effort columns included — from disk.
+func TestCheckpointKeepsEffortFields(t *testing.T) {
+	dir := t.TempDir()
+	run := AFARun{
+		Mode: keccak.SHA3_256, Model: fault.Byte, Seed: 11,
+		Recovered: true, FaultsUsed: 40,
+		TotalTime: 1234567890, SolveTime: 987654321,
+		Conflicts: 55555, Propagations: 7777777, Evicted: 2,
+	}
+	if err := SaveCheckpoint(dir, run); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := LoadCheckpoint(dir, run.Mode, run.Model, run.Seed, run.Noise)
+	if !ok {
+		t.Fatal("checkpoint not loaded back")
+	}
+	if got.TotalTime != run.TotalTime || got.SolveTime != run.SolveTime ||
+		got.Conflicts != run.Conflicts || got.Propagations != run.Propagations {
+		t.Fatalf("effort fields mutated by the round trip:\n got %+v\nwant %+v", got, run)
+	}
+	s := SummarizeAFA([]AFARun{got})
+	if s.AvgSolveTime != run.SolveTime || s.AvgConflicts != float64(run.Conflicts) ||
+		s.AvgPropagations != float64(run.Propagations) || s.AvgEvicted != 2 {
+		t.Fatalf("summary effort columns wrong: %+v", s)
+	}
+}
+
+// firstIndex returns the line index of the first event named ev, or -1.
+func firstIndex(events []map[string]any, ev string) int {
+	for i, e := range events {
+		if e["ev"] == ev {
+			return i
+		}
+	}
+	return -1
+}
+
+// countEvents returns how many events are named ev.
+func countEvents(events []map[string]any, ev string) int {
+	n := 0
+	for _, e := range events {
+		if e["ev"] == ev {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTraceGolden is the acceptance criterion for the observability
+// stream: a seeded SHA3-256 single-byte attack, traced to JSONL, must
+// produce a parseable stream containing solver progress, portfolio win
+// attribution, all four attack phase spans in pipeline order, and the
+// closing campaign run record.
+func TestTraceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("solver-heavy test skipped under -race")
+	}
+	var buf bytes.Buffer
+	tr := obs.NewTrace(&buf, 1024)
+	// Known positions keep the SHA3-256 instances tractable on one core
+	// (same reasoning as the noisy-campaign test); preprocessing is
+	// armed so the attack.preprocess phase actually occurs, and a small
+	// progress cadence guarantees mid-solve progress events.
+	cfg := core.DefaultConfig(keccak.SHA3_256, fault.Byte)
+	cfg.KnownPosition = true
+	cfg.Preprocess = true
+	cfg.Portfolio = 2
+	cfg.SolverOptions.ProgressEvery = 64
+	run := RunAFA(keccak.SHA3_256, fault.Byte, 301, AFAOptions{
+		MaxFaults:  150,
+		SolveEvery: 12, // sparse solve points keep the test short
+		Recorder:   tr,
+		Config:     &cfg,
+	})
+	if run.Err != "" {
+		t.Fatalf("run failed: %s", run.Err)
+	}
+	if !run.Recovered {
+		t.Fatalf("not recovered within %d faults", run.FaultsUsed)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("trace sink error: %v", err)
+	}
+
+	var events []map[string]any
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if e["ev"] == "" || e["ev"] == nil {
+			t.Fatalf("trace line %d has no event name: %s", i, line)
+		}
+		events = append(events, e)
+	}
+
+	// The attack pipeline order, by first occurrence: the correct digest
+	// is encoded before anything is preprocessed, preprocessing precedes
+	// the first solve, and decoding only happens after a Sat result.
+	order := []string{"attack.encode.end", "attack.preprocess.end", "attack.solve.end", "attack.decode.end"}
+	prev := -1
+	for _, ev := range order {
+		idx := firstIndex(events, ev)
+		if idx < 0 {
+			t.Fatalf("trace has no %s event", ev)
+		}
+		if idx <= prev {
+			t.Fatalf("%s first occurs at line %d, out of pipeline order %v", ev, idx, order)
+		}
+		prev = idx
+	}
+
+	if countEvents(events, "solver.progress") == 0 {
+		t.Fatal("trace has no solver.progress events")
+	}
+	if countEvents(events, "portfolio.win") == 0 {
+		t.Fatal("trace has no portfolio.win events")
+	}
+	if n := countEvents(events, "campaign.run"); n != 1 {
+		t.Fatalf("trace has %d campaign.run records, want 1", n)
+	}
+	rec := events[firstIndex(events, "campaign.run")]
+	f, _ := rec["f"].(map[string]any)
+	if f == nil || f["recovered"] != true {
+		t.Fatalf("campaign.run record = %v, want recovered=true", rec)
+	}
+	if c, _ := f["conflicts"].(float64); c <= 0 {
+		t.Fatalf("campaign.run record carries no solver effort: %v", f)
+	}
+	// The run record is the last event: it is emitted by the outermost
+	// deferred hook of RunAFACtx, after every phase span has closed.
+	if last := events[len(events)-1]; last["ev"] != "campaign.run" {
+		t.Fatalf("last event is %q, want campaign.run", last["ev"])
+	}
+}

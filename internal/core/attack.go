@@ -9,6 +9,7 @@ import (
 	"sha3afa/internal/cnf"
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
 	"sha3afa/internal/portfolio"
 	"sha3afa/internal/sat"
 )
@@ -89,11 +90,16 @@ func NewAttack(cfg Config) *Attack {
 	var backend solveBackend
 	if cfg.Portfolio > 1 {
 		backend = portfolio.New(portfolio.Options{
-			Workers: cfg.Portfolio,
-			Base:    cfg.SolverOptions,
+			Workers:  cfg.Portfolio,
+			Base:     cfg.SolverOptions,
+			Recorder: cfg.Recorder,
 		})
 	} else {
-		backend = &singleBackend{Solver: sat.NewWithOptions(cfg.SolverOptions)}
+		s := sat.NewWithOptions(cfg.SolverOptions)
+		if cfg.Recorder != nil {
+			s.SetRecorder(cfg.Recorder, "sat[0]:single")
+		}
+		backend = &singleBackend{Solver: s}
 	}
 	return &Attack{
 		cfg:     cfg,
@@ -122,7 +128,10 @@ func (a *Attack) SolverStats() []portfolio.SolverStat {
 
 // AddCorrect records the fault-free digest.
 func (a *Attack) AddCorrect(digest []byte) error {
-	if err := a.builder.AddCorrect(digest); err != nil {
+	stop := obs.Span(a.cfg.Recorder, "attack", "attack.encode", obs.F("which", "correct"))
+	err := a.builder.AddCorrect(digest)
+	stop(obs.F("clauses", a.builder.Formula().NumClauses()))
+	if err != nil {
 		return err
 	}
 	a.correctDigest = append([]byte(nil), digest...)
@@ -137,7 +146,11 @@ func (a *Attack) AddCorrect(digest []byte) error {
 // inconsistency.
 func (a *Attack) AddFaulty(faultyDigest []byte, knownWindow int) error {
 	from := a.builder.Formula().NumClauses()
-	if err := a.builder.AddFaulty(faultyDigest, knownWindow); err != nil {
+	stop := obs.Span(a.cfg.Recorder, "attack", "attack.encode",
+		obs.F("which", "faulty"), obs.F("obs", a.builder.NumInstances()))
+	err := a.builder.AddFaulty(faultyDigest, knownWindow)
+	stop(obs.F("clauses", a.builder.Formula().NumClauses()-from))
+	if err != nil {
 		return err
 	}
 	if a.cfg.Guarded {
@@ -225,6 +238,8 @@ func (a *Attack) guardRun(i, limit int) (guard, end int) {
 func (a *Attack) pushRun(cls [][]int, from, end, guard int) error {
 	run := cls[from:end]
 	if a.cfg.Preprocess {
+		stop := obs.Span(a.cfg.Recorder, "attack", "attack.preprocess",
+			obs.F("clauses_in", len(run)), obs.F("guarded", guard != 0))
 		batch := cnf.New()
 		batch.NewVars(a.builder.Formula().NumVars())
 		for _, c := range run {
@@ -232,6 +247,7 @@ func (a *Attack) pushRun(cls [][]int, from, end, guard int) error {
 		}
 		batch.Preprocess()
 		run = batch.Clauses()
+		stop(obs.F("clauses_out", len(run)))
 	}
 	for _, c := range run {
 		if guard != 0 {
@@ -313,6 +329,13 @@ func (a *Attack) SolveContext(ctx context.Context) (res Result, err error) {
 // surviving constraint system is genuinely inconsistent (or the
 // eviction budget is exhausted).
 func (a *Attack) solveRobust() sat.Status {
+	stop := obs.Span(a.cfg.Recorder, "attack", "attack.solve")
+	st := a.solveRobustLoop()
+	stop(obs.F("status", st.String()))
+	return st
+}
+
+func (a *Attack) solveRobustLoop() sat.Status {
 	for {
 		st := a.solver.SolveContext(a.ctx, a.assumptions()...)
 		if st != sat.Unsat || !a.cfg.Guarded {
@@ -334,12 +357,20 @@ func (a *Attack) blameAndEvict() bool {
 	if len(core) == 0 {
 		return false
 	}
+	rawSize := len(core)
 	core = a.minimizeCore(core)
+	obs.Emit(a.cfg.Recorder, "attack", "attack.blame",
+		obs.F("core", rawSize), obs.F("minimized", len(core)))
 	if cap := a.cfg.MaxEvictions; cap > 0 && len(a.evicted)+len(core) > cap {
 		return false
 	}
 	for _, k := range core {
 		a.evict(k)
+		obs.Emit(a.cfg.Recorder, "attack", "attack.evict",
+			obs.F("obs", k), obs.F("blamed_core", len(core)))
+	}
+	if a.cfg.Recorder != nil {
+		a.cfg.Recorder.Metrics().Counter("attack.evictions").Add(int64(len(core)))
 	}
 	return true
 }
@@ -432,8 +463,12 @@ func (a *Attack) solvePractical(res Result) (Result, error) {
 		model := append([]bool(nil), a.solver.Model()...)
 		a.lastModel = model
 		res.Candidates++
+		stop := obs.Span(a.cfg.Recorder, "attack", "attack.decode",
+			obs.F("candidate", res.Candidates))
 		res.ChiInput = a.builder.DecodeAlpha(model)
-		if a.ValidateCandidate(res.ChiInput) {
+		valid := a.ValidateCandidate(res.ChiInput)
+		stop(obs.F("valid", valid))
+		if valid {
 			res.Status = Recovered
 			return res, nil
 		}
@@ -462,7 +497,10 @@ func (a *Attack) solveUnique(res Result) (Result, error) {
 	model := append([]bool(nil), a.solver.Model()...)
 	a.lastModel = model
 	res.Candidates = 1
+	stopDecode := obs.Span(a.cfg.Recorder, "attack", "attack.decode",
+		obs.F("candidate", res.Candidates))
 	res.ChiInput = a.builder.DecodeAlpha(model)
+	stopDecode()
 
 	// Block this α assignment behind a guard and re-solve. The guard
 	// variable is allocated from the formula's variable space (not the
@@ -476,7 +514,10 @@ func (a *Attack) solveUnique(res Result) (Result, error) {
 	}
 	// The second solve must NOT re-enter the blame loop: Unsat here
 	// means the model is unique over α, not that an observation is bad.
+	stopSolve := obs.Span(a.cfg.Recorder, "attack", "attack.solve",
+		obs.F("uniqueness", true))
 	second := a.solver.SolveContext(a.ctx, a.assumptions(-guard)...)
+	stopSolve(obs.F("status", second.String()))
 	// Retire the blocking clause for all future solves.
 	a.retired = append(a.retired, guard)
 	switch second {

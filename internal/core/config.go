@@ -16,6 +16,7 @@ import (
 
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
 	"sha3afa/internal/sat"
 )
 
@@ -82,6 +83,14 @@ type Config struct {
 	// validates per call in the practical mode. Wrong candidates are
 	// blocked permanently (they are proven wrong, not just unwanted).
 	MaxCandidates int
+	// Recorder, when non-nil, receives the attack's observability
+	// stream: phase spans (attack.encode → attack.preprocess →
+	// attack.solve → attack.decode), blame/eviction events with
+	// blamed-core sizes, and — passed down to the SAT backend — solver
+	// progress and portfolio win attribution. The default nil disables
+	// instrumentation at the cost of one branch per emission site (see
+	// internal/obs).
+	Recorder obs.Recorder
 }
 
 // DefaultConfig returns the paper's setting for a given mode and model.

@@ -8,11 +8,11 @@ import (
 	"sha3afa/internal/keccak"
 )
 
-// runGuardedEviction drives a relaxed byte-model attack in which one
+// runGuardedEviction drives a byte-model attack in which one
 // observation is deliberately out-of-model (a digest of an unrelated
 // message) among genuine ones: the guarded attack must evict exactly
 // the guilty observation and still recover the ground-truth state.
-func runGuardedEviction(t *testing.T, portfolio int) {
+func runGuardedEviction(t *testing.T, portfolio int, knownPos bool) {
 	t.Helper()
 	if raceEnabled {
 		t.Skip("solver-heavy test skipped under -race")
@@ -28,6 +28,7 @@ func runGuardedEviction(t *testing.T, portfolio int) {
 	cfg := DefaultConfig(mode, fault.Byte)
 	cfg.Guarded = true
 	cfg.Portfolio = portfolio
+	cfg.KnownPosition = knownPos
 	atk := NewAttack(cfg)
 	if err := atk.AddCorrect(correct); err != nil {
 		t.Fatal(err)
@@ -76,21 +77,26 @@ func runGuardedEviction(t *testing.T, portfolio int) {
 }
 
 // TestGuardedEvictionSingleSolver: Inconsistent→blame→evict round trip
-// on the classic single solver.
+// on the classic single solver, under the full relaxed-position search.
 func TestGuardedEvictionSingleSolver(t *testing.T) {
 	if testing.Short() {
 		t.Skip("solver test skipped in -short mode")
 	}
-	runGuardedEviction(t, 0)
+	runGuardedEviction(t, 0, false)
 }
 
 // TestGuardedEvictionPortfolio: the same round trip with the failed
-// core plumbed through the portfolio backend.
+// core plumbed through the portfolio backend. What this variant adds
+// over the single-solver one is the FailedAssumptions path through the
+// winning portfolio member — that plumbing is position-model-agnostic,
+// so the variant runs with known positions: three members racing on
+// one core triple the solver work, and the relaxed search is already
+// covered above.
 func TestGuardedEvictionPortfolio(t *testing.T) {
 	if testing.Short() {
 		t.Skip("solver test skipped in -short mode")
 	}
-	runGuardedEviction(t, 3)
+	runGuardedEviction(t, 3, true)
 }
 
 // TestGuardedDudObservation: a dud injection (faulty digest identical

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The live debug endpoint: -debug-addr :6060 serves expvar-style
+// metrics, the in-memory event ring, and the standard pprof handlers —
+// the long-campaign replacement for the one-shot -cpuprofile and
+// -memprofile flags (profiles can be pulled at any point of a
+// multi-hour batch instead of only at exit).
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	Addr string // actual listen address (useful with ":0")
+	srv  *http.Server
+}
+
+// Close shuts the endpoint down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts an HTTP server on addr exposing
+//
+//	/debug/metrics  JSON snapshot of every counter/gauge/timer
+//	/debug/trace    JSON array of the event ring (most recent events)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// It returns once the listener is bound; the server runs until Close.
+func (t *Trace) ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Metrics().Snapshot())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Events())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// StartProgress runs a live ticker printing one compact progress line
+// to w every interval: cumulative solver work (with propagation and
+// conflict rates over the last tick), attack solve/campaign run counts,
+// and evictions. It returns a stop function that halts the ticker and
+// prints one final line. The well-known names it reads are the ones
+// the instrumented layers maintain (sat.conflicts, sat.propagations,
+// attack.solve, campaign.runs, attack.evictions).
+func StartProgress(r Recorder, w io.Writer, interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		var lastConf, lastProps int64
+		last := time.Now()
+		line := func() {
+			s := r.Metrics().Snapshot()
+			now := time.Now()
+			dt := now.Sub(last).Seconds()
+			conf, props := s.Counters["sat.conflicts"], s.Counters["sat.propagations"]
+			confRate, propRate := 0.0, 0.0
+			if dt > 0 {
+				confRate = float64(conf-lastConf) / dt
+				propRate = float64(props-lastProps) / dt
+			}
+			lastConf, lastProps, last = conf, props, now
+			solves := s.Timers["attack.solve"].Count
+			fmt.Fprintf(w, "[obs] runs=%d solves=%d conflicts=%s (%s/s) props=%s (%s/s) evictions=%d\n",
+				s.Counters["campaign.runs"], solves,
+				human(conf), human(int64(confRate)),
+				human(props), human(int64(propRate)),
+				s.Counters["attack.evictions"])
+		}
+		for {
+			select {
+			case <-done:
+				line()
+				return
+			case <-tick.C:
+				line()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// human renders a count with k/M suffixes for the ticker line.
+func human(v int64) string {
+	switch {
+	case v >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

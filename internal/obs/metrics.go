@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Typed metrics. Handles are cheap to cache (Counter/Gauge/Timer
+// lookups take the registry lock; Add/Set/Observe on a handle are a
+// single atomic each), and a snapshot of everything is served by the
+// debug endpoint and consumed by the phase-breakdown emitters.
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 level.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Timer accumulates durations (count + total nanoseconds).
+type Timer struct {
+	n  atomic.Int64
+	ns atomic.Int64
+}
+
+// Observe adds one duration sample.
+func (t *Timer) Observe(d time.Duration) {
+	t.n.Add(1)
+	t.ns.Add(int64(d))
+}
+
+// Value returns the sample count and accumulated total.
+func (t *Timer) Value() (count int64, total time.Duration) {
+	return t.n.Load(), time.Duration(t.ns.Load())
+}
+
+// Metrics is a named registry of counters, gauges and timers.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (m *Metrics) Timer(name string) *Timer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.timers[name]
+	if !ok {
+		t = &Timer{}
+		m.timers[name] = t
+	}
+	return t
+}
+
+// TimerValue is one timer in a snapshot.
+type TimerValue struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// Snapshot is a point-in-time copy of every metric, in the JSON shape
+// the /debug/metrics endpoint serves.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters"`
+	Gauges   map[string]int64      `json:"gauges"`
+	Timers   map[string]TimerValue `json:"timers"`
+}
+
+// Snapshot copies every registered metric.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(m.counters)),
+		Gauges:   make(map[string]int64, len(m.gauges)),
+		Timers:   make(map[string]TimerValue, len(m.timers)),
+	}
+	for name, c := range m.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range m.timers {
+		n, total := t.Value()
+		s.Timers[name] = TimerValue{Count: n, TotalMS: round2(total.Seconds() * 1e3)}
+	}
+	return s
+}
+
+// Names returns the sorted names of one metric kind ("counter",
+// "gauge" or "timer"); handy for deterministic test output.
+func (m *Metrics) Names(kind string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	switch kind {
+	case "counter":
+		for n := range m.counters {
+			out = append(out, n)
+		}
+	case "gauge":
+		for n := range m.gauges {
+			out = append(out, n)
+		}
+	case "timer":
+		for n := range m.timers {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,197 @@
+// Package obs is the repository's observability layer: typed
+// counters/gauges/timers, a bounded ring-buffer event trace with an
+// optional JSONL sink, and a live debug endpoint (expvar-style metrics
+// plus net/http/pprof). It is dependency-free (standard library only)
+// and built so that the *disabled* path costs exactly one branch at
+// every instrumentation site: the layers hold a Recorder interface
+// value that is nil when observability is off, and every emission is
+// guarded by (or routed through) a nil check. The overhead contract is
+// enforced by cmd/benchjson's BENCH_obs.json comparison (CI fails when
+// the instrumented solve exceeds the recorder-off solve by >5%).
+//
+// Event producers across the stack:
+//
+//	sat.Solver          solver.progress / solver.compact (conflict-count cadence)
+//	portfolio.Portfolio portfolio.win (win attribution + clause-share traffic)
+//	core.Attack         attack.{encode,preprocess,solve,decode} spans,
+//	                    attack.blame / attack.evict
+//	campaign            campaign.run records (one per seeded run)
+//
+// All Trace methods are safe for concurrent use: portfolio members and
+// the campaign worker pool feed one shared recorder.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Field is one key/value pair of an event payload.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field; it keeps call sites short.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Event is one trace record. The JSON form is one line of the -trace
+// JSONL stream and one slot of the ring buffer.
+type Event struct {
+	// T is seconds since the recorder was created (relative time keeps
+	// traces small and diffable).
+	T float64 `json:"t"`
+	// Src names the emitting component, e.g. "sat[2]:stable".
+	Src string `json:"src,omitempty"`
+	// Ev is the event name, e.g. "solver.progress".
+	Ev string `json:"ev"`
+	// Fields carries the payload.
+	Fields map[string]any `json:"f,omitempty"`
+}
+
+// Recorder is the interface the instrumented layers emit through. A
+// nil Recorder means observability is off; producers must guard every
+// emission with a nil check (or use the package-level Emit/Span
+// helpers, which do). Implementations must be safe for concurrent use.
+type Recorder interface {
+	// Emit appends one event to the trace.
+	Emit(src, ev string, fields ...Field)
+	// Span opens a named span: it emits name+".start", and the returned
+	// closer emits name+".end" with an "ms" duration field (plus any
+	// extra fields) and feeds the duration into the timer metric named
+	// name.
+	Span(src, name string, fields ...Field) func(fields ...Field)
+	// Metrics returns the recorder's metric registry (never nil).
+	Metrics() *Metrics
+}
+
+// Emit records one event through r; a nil recorder is a no-op.
+func Emit(r Recorder, src, ev string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	r.Emit(src, ev, fields...)
+}
+
+func nopSpan(...Field) {}
+
+// Span opens a span through r; a nil recorder returns a no-op closer.
+func Span(r Recorder, src, name string, fields ...Field) func(fields ...Field) {
+	if r == nil {
+		return nopSpan
+	}
+	return r.Span(src, name, fields...)
+}
+
+// Trace is the standard Recorder: a bounded ring buffer of the most
+// recent events, an optional JSONL writer (one event per line, each
+// line written in a single Write call so the stream stays line-atomic
+// even through a shared writer), and a metric registry.
+type Trace struct {
+	start   time.Time
+	metrics *Metrics
+
+	mu      sync.Mutex
+	w       io.Writer // optional JSONL sink; nil = ring only
+	werr    error     // first sink write error (sticky; later writes skipped)
+	ring    []Event   // fixed-capacity ring, 0 capacity = no ring
+	head    int       // next write position
+	n       int       // events currently held
+	total   int64     // events ever emitted
+	dropped int64     // events overwritten in the ring
+}
+
+// NewTrace returns a recorder writing JSONL events to w (nil for
+// ring-only operation) and retaining the last ringCap events in memory
+// (≤ 0 disables the ring). Both sinks may be inspected live: the ring
+// via Events/ServeDebug, the metrics via Metrics.
+func NewTrace(w io.Writer, ringCap int) *Trace {
+	t := &Trace{start: time.Now(), metrics: NewMetrics(), w: w}
+	if ringCap > 0 {
+		t.ring = make([]Event, ringCap)
+	}
+	return t
+}
+
+// Metrics returns the trace's metric registry.
+func (t *Trace) Metrics() *Metrics { return t.metrics }
+
+// Emit appends one event to the ring and the JSONL sink.
+func (t *Trace) Emit(src, ev string, fields ...Field) {
+	e := Event{T: time.Since(t.start).Seconds(), Src: src, Ev: ev}
+	if len(fields) > 0 {
+		e.Fields = make(map[string]any, len(fields))
+		for _, f := range fields {
+			e.Fields[f.Key] = f.Val
+		}
+	}
+	t.mu.Lock()
+	t.total++
+	if len(t.ring) > 0 {
+		if t.n == len(t.ring) {
+			t.dropped++
+		} else {
+			t.n++
+		}
+		t.ring[t.head] = e
+		t.head = (t.head + 1) % len(t.ring)
+	}
+	if t.w != nil && t.werr == nil {
+		if data, err := json.Marshal(e); err == nil {
+			data = append(data, '\n')
+			_, t.werr = t.w.Write(data)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Span implements Recorder.Span.
+func (t *Trace) Span(src, name string, fields ...Field) func(fields ...Field) {
+	t.Emit(src, name+".start", fields...)
+	start := time.Now()
+	return func(fields ...Field) {
+		d := time.Since(start)
+		t.metrics.Timer(name).Observe(d)
+		out := make([]Field, 0, len(fields)+1)
+		out = append(out, F("ms", round2(d.Seconds()*1e3)))
+		out = append(out, fields...)
+		t.Emit(src, name+".end", out...)
+	}
+}
+
+// round2 rounds to two decimals so durations stay readable in JSONL.
+func round2(v float64) float64 {
+	if v < 0 {
+		return float64(int64(v*100-0.5)) / 100
+	}
+	return float64(int64(v*100+0.5)) / 100
+}
+
+// Events returns the ring contents, oldest first.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(t.head-t.n+i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Totals reports how many events were emitted over the trace's
+// lifetime and how many the ring has since overwritten.
+func (t *Trace) Totals() (total, dropped int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total, t.dropped
+}
+
+// Err returns the first JSONL sink write error, if any (the sink is
+// disabled after the first failure; the ring and metrics keep working).
+func (t *Trace) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.werr
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderHelpers(t *testing.T) {
+	// The nil path is the production default: every helper must be a
+	// no-op, never a panic.
+	Emit(nil, "src", "ev", F("k", 1))
+	done := Span(nil, "src", "name")
+	done(F("k", 2))
+}
+
+func TestTraceEmitJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf, 8)
+	tr.Emit("sat", "solver.progress", F("conflicts", 42), F("final", true))
+	tr.Emit("campaign", "campaign.run")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if e.Src != "sat" || e.Ev != "solver.progress" {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.Fields["conflicts"] != float64(42) || e.Fields["final"] != true {
+		t.Fatalf("fields = %v", e.Fields)
+	}
+	if e.T < 0 {
+		t.Fatalf("negative relative time %v", e.T)
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	tr := NewTrace(nil, 4)
+	for i := 0; i < 10; i++ {
+		tr.Emit("t", fmt.Sprintf("ev%d", i))
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := fmt.Sprintf("ev%d", 6+i); e.Ev != want {
+			t.Fatalf("ring[%d] = %q, want %q (oldest-first)", i, e.Ev, want)
+		}
+	}
+	total, dropped := tr.Totals()
+	if total != 10 || dropped != 6 {
+		t.Fatalf("totals = (%d, %d), want (10, 6)", total, dropped)
+	}
+}
+
+func TestTraceNoRing(t *testing.T) {
+	tr := NewTrace(nil, 0)
+	tr.Emit("t", "ev")
+	if got := tr.Events(); len(got) != 0 {
+		t.Fatalf("ring disabled but Events returned %d", len(got))
+	}
+	if total, _ := tr.Totals(); total != 1 {
+		t.Fatalf("total = %d, want 1", total)
+	}
+}
+
+func TestSpanEmitsAndTimes(t *testing.T) {
+	tr := NewTrace(nil, 8)
+	done := tr.Span("attack", "attack.solve", F("in", 1))
+	done(F("status", "sat"))
+
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want start+end", len(events))
+	}
+	if events[0].Ev != "attack.solve.start" || events[0].Fields["in"] != 1 {
+		t.Fatalf("start event = %+v", events[0])
+	}
+	end := events[1]
+	if end.Ev != "attack.solve.end" || end.Fields["status"] != "sat" {
+		t.Fatalf("end event = %+v", end)
+	}
+	if _, ok := end.Fields["ms"].(float64); !ok {
+		t.Fatalf("end event has no ms duration: %+v", end)
+	}
+	tv := tr.Metrics().Snapshot().Timers["attack.solve"]
+	if tv.Count != 1 || tv.TotalMS < 0 {
+		t.Fatalf("timer = %+v", tv)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a").Add(3)
+	m.Counter("a").Inc()
+	m.Gauge("g").Set(7)
+	m.Timer("t").Observe(2 * time.Millisecond)
+
+	s := m.Snapshot()
+	if s.Counters["a"] != 4 || s.Gauges["g"] != 7 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Timers["t"].Count != 1 || s.Timers["t"].TotalMS <= 0 {
+		t.Fatalf("timer = %+v", s.Timers["t"])
+	}
+	if got := m.Names("counter"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("counter names = %v", got)
+	}
+}
+
+func TestTraceConcurrentEmit(t *testing.T) {
+	// One shared recorder fed from many goroutines — the portfolio +
+	// worker-pool shape. Run with -race to make this a real check.
+	tr := NewTrace(io.Discard, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := fmt.Sprintf("sat[%d]", g)
+			for i := 0; i < 50; i++ {
+				tr.Emit(src, "solver.progress", F("conflicts", i))
+				tr.Metrics().Counter("sat.conflicts").Inc()
+				done := tr.Span(src, "attack.solve")
+				done()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if total, _ := tr.Totals(); total != 8*50*3 {
+		t.Fatalf("total = %d, want %d", total, 8*50*3)
+	}
+	if got := tr.Metrics().Snapshot().Counters["sat.conflicts"]; got != 400 {
+		t.Fatalf("counter = %d, want 400", got)
+	}
+}
+
+func TestTraceSinkErrorSticky(t *testing.T) {
+	tr := NewTrace(failWriter{}, 2)
+	tr.Emit("t", "ev")
+	if tr.Err() == nil {
+		t.Fatal("sink error not surfaced")
+	}
+	tr.Emit("t", "ev2") // must not panic; ring keeps working
+	if got := tr.Events(); len(got) != 2 {
+		t.Fatalf("ring stopped after sink error: %d events", len(got))
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+func TestServeDebugEndpoints(t *testing.T) {
+	tr := NewTrace(nil, 16)
+	tr.Emit("sat", "solver.progress", F("conflicts", 1))
+	tr.Metrics().Counter("sat.conflicts").Inc()
+
+	ds, err := tr.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + ds.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/metrics"), &snap); err != nil {
+		t.Fatalf("/debug/metrics is not JSON: %v", err)
+	}
+	if snap.Counters["sat.conflicts"] != 1 {
+		t.Fatalf("metrics snapshot = %+v", snap)
+	}
+	var events []Event
+	if err := json.Unmarshal(get("/debug/trace"), &events); err != nil {
+		t.Fatalf("/debug/trace is not JSON: %v", err)
+	}
+	if len(events) != 1 || events[0].Ev != "solver.progress" {
+		t.Fatalf("trace = %+v", events)
+	}
+	if body := get("/debug/pprof/"); !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatal("/debug/pprof/ index missing profiles")
+	}
+}
+
+func TestStartProgressTicker(t *testing.T) {
+	tr := NewTrace(nil, 0)
+	tr.Metrics().Counter("sat.conflicts").Add(1234)
+	var buf bytes.Buffer
+	stop := StartProgress(tr, &buf, 10*time.Millisecond)
+	time.Sleep(35 * time.Millisecond)
+	stop()
+	out := buf.String()
+	if !strings.Contains(out, "[obs]") || !strings.Contains(out, "conflicts=") {
+		t.Fatalf("ticker output = %q", out)
+	}
+	// stop() must print a final line even with a nil recorder guard.
+	if n := strings.Count(out, "\n"); n < 2 {
+		t.Fatalf("expected several ticker lines, got %d:\n%s", n, out)
+	}
+	StartProgress(nil, &buf, time.Millisecond)() // nil recorder: no-op
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"sha3afa/internal/cnf"
+	"sha3afa/internal/obs"
 	"sha3afa/internal/sat"
 )
 
@@ -47,6 +48,10 @@ type Options struct {
 	ImportLimit int
 	// NoSharing disables the clause exchange entirely.
 	NoSharing bool
+	// Recorder, when non-nil, receives per-member solver progress
+	// (each member emits under "sat[i]:<preset>"), clause-share
+	// import/export traffic, and win attribution for every Solve.
+	Recorder obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +95,13 @@ type Portfolio struct {
 	winner  int
 	model   []bool
 	failed  []int // winner's failed-assumption core from the last Unsat
+
+	rec obs.Recorder
+	// prevImported/prevExported snapshot each member's share counters
+	// at the end of the previous Solve, so win events carry per-solve
+	// traffic deltas rather than lifetime totals.
+	prevImported []int64
+	prevExported []int64
 }
 
 // New returns an empty portfolio of diversified solvers.
@@ -97,13 +109,19 @@ func New(opts Options) *Portfolio {
 	opts = opts.withDefaults()
 	presets := Presets(opts.Workers, opts.Base)
 	p := &Portfolio{
-		opts:   opts,
-		last:   make([]sat.Status, len(presets)),
-		winner: -1,
+		opts:         opts,
+		last:         make([]sat.Status, len(presets)),
+		winner:       -1,
+		rec:          opts.Recorder,
+		prevImported: make([]int64, len(presets)),
+		prevExported: make([]int64, len(presets)),
 	}
-	for _, pre := range presets {
+	for i, pre := range presets {
 		s := sat.NewWithOptions(pre.Options)
 		s.SetImportLimit(opts.ImportLimit)
+		if p.rec != nil {
+			s.SetRecorder(p.rec, fmt.Sprintf("sat[%d]:%s", i, pre.Name))
+		}
 		p.solvers = append(p.solvers, s)
 		p.names = append(p.names, pre.Name)
 	}
@@ -163,6 +181,10 @@ func (p *Portfolio) Solve(assumptions ...int) sat.Status {
 // SolveContext is Solve with cancellation: when ctx is done every
 // member is interrupted and Unknown is returned.
 func (p *Portfolio) SolveContext(ctx context.Context, assumptions ...int) sat.Status {
+	var start time.Time
+	if p.rec != nil {
+		start = time.Now()
+	}
 	p.winner = -1
 	p.failed = nil
 	for i := range p.last {
@@ -177,6 +199,9 @@ func (p *Portfolio) SolveContext(ctx context.Context, assumptions ...int) sat.St
 		} else if st == sat.Unsat {
 			p.winner = 0
 			p.failed = p.solvers[0].FailedAssumptions()
+		}
+		if p.rec != nil {
+			p.emitWin(st, time.Since(start))
 		}
 		return st
 	}
@@ -240,7 +265,40 @@ func (p *Portfolio) SolveContext(ctx context.Context, assumptions ...int) sat.St
 	for _, s := range p.solvers {
 		s.ClearInterrupt()
 	}
+	if p.rec != nil {
+		p.emitWin(status, time.Since(start))
+	}
 	return status
+}
+
+// emitWin records win attribution and clause-share traffic for the
+// Solve that just finished. Called on the portfolio's owning goroutine
+// after every member goroutine has returned, so reading member stats
+// is race-free.
+func (p *Portfolio) emitWin(status sat.Status, elapsed time.Duration) {
+	var imported, exported int64
+	for i, s := range p.solvers {
+		st := s.Stats()
+		imported += st.Imported - p.prevImported[i]
+		exported += st.Exported - p.prevExported[i]
+		p.prevImported[i], p.prevExported[i] = st.Imported, st.Exported
+	}
+	name := "-"
+	if p.winner >= 0 {
+		name = p.names[p.winner]
+	}
+	m := p.rec.Metrics()
+	m.Counter("portfolio.solves").Inc()
+	m.Counter("portfolio.shared.imported").Add(imported)
+	m.Counter("portfolio.shared.exported").Add(exported)
+	p.rec.Emit("portfolio", "portfolio.win",
+		obs.F("winner", p.winner),
+		obs.F("name", name),
+		obs.F("status", status.String()),
+		obs.F("members", len(p.solvers)),
+		obs.F("ms", float64(elapsed.Microseconds())/1e3),
+		obs.F("imported", imported),
+		obs.F("exported", exported))
 }
 
 // Model returns the winner's satisfying assignment from the last Sat

@@ -1,6 +1,10 @@
 package sat
 
-import "math"
+import (
+	"math"
+
+	"sha3afa/internal/obs"
+)
 
 // Clause arena: every clause with three or more literals lives in one
 // flat []lit slab and is addressed by a cref — the int32 index of its
@@ -91,6 +95,7 @@ func (a *clauseArena) shouldCompact() bool {
 // deleted clauses were detached when the clause was freed, so every
 // cref encountered here is live.
 func (s *Solver) compactArena() {
+	wastedBefore, wordsBefore := s.ca.wasted, len(s.ca.data)
 	old := s.ca.data
 	newData := make([]lit, 0, len(old)-s.ca.wasted)
 	reloc := func(c int32) int32 {
@@ -123,4 +128,11 @@ func (s *Solver) compactArena() {
 	}
 	s.ca.data = newData
 	s.ca.wasted = 0
+	s.stats.Compactions++
+	if s.rec != nil {
+		s.rec.Emit(s.recSrc, "solver.compact",
+			obs.F("words_before", wordsBefore),
+			obs.F("words_after", len(newData)),
+			obs.F("reclaimed", wastedBefore))
+	}
 }

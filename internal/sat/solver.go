@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sha3afa/internal/obs"
 )
 
 // Status is the outcome of a Solve call.
@@ -140,6 +142,11 @@ type Options struct {
 	VarDecay      float64   // EVSIDS activity decay, (0,1); 0 = 0.95
 	RestartBase   int64     // conflicts per Luby restart unit; 0 = 100
 	InitialPhase  PhaseMode // polarity fresh variables are tried with first
+
+	// ProgressEvery is the conflict-count cadence of solver.progress
+	// events (0 = 4096). It only matters once a recorder is attached
+	// via SetRecorder; without one the solver emits nothing.
+	ProgressEvery int64
 }
 
 // Stats counts solver work, exposed for the evaluation figures.
@@ -153,6 +160,7 @@ type Stats struct {
 	Deleted      int64 // learned clauses dropped by reduction
 	Imported     int64 // clauses accepted from other portfolio solvers
 	Exported     int64 // learned clauses handed to the exchange
+	Compactions  int64 // copying collections of the clause arena
 }
 
 // Solver is a CDCL SAT solver. Zero value is not usable; call New.
@@ -223,6 +231,17 @@ type Solver struct {
 	learnCB     func(lits []int, lbd int)
 	learnMaxLen int
 	learnMaxLBD int
+
+	// Observability (nil rec = off; every emission site is guarded by
+	// one rec != nil branch, so the disabled path costs one branch —
+	// the contract cmd/benchjson's BENCH_obs.json comparison enforces).
+	rec           obs.Recorder
+	recSrc        string    // component label in emitted events
+	lbdHist       [12]int64 // learnt-LBD histogram: bucket i = LBD i, last = 11+
+	progEvery     int64     // cached cadence for the current Solve
+	lastEmitTime  time.Time // previous progress emission, for rates
+	lastEmitConf  int64
+	lastEmitProps int64
 }
 
 // sharedClause is a learned clause in transit between portfolio
@@ -283,6 +302,72 @@ func (s *Solver) NewVar() int {
 
 // Stats returns work counters accumulated so far.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// SetRecorder attaches an observability recorder; src labels this
+// solver's events (e.g. "sat[2]:stable"). The solver then emits
+// solver.progress events every Options.ProgressEvery conflicts plus a
+// final one per Solve, feeds the global sat.* counters, and tracks the
+// learnt-LBD histogram. A nil r turns instrumentation off again; with
+// it off the only residue is one untaken branch per conflict.
+func (s *Solver) SetRecorder(r obs.Recorder, src string) {
+	s.rec = r
+	if src == "" {
+		src = "sat"
+	}
+	s.recSrc = src
+}
+
+// noteLearnt buckets a learnt clause's LBD into the histogram emitted
+// with solver.progress events. Called only with a recorder attached.
+func (s *Solver) noteLearnt(lbd int32) {
+	b := int(lbd)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(s.lbdHist) {
+		b = len(s.lbdHist) - 1
+	}
+	s.lbdHist[b]++
+}
+
+// emitProgress emits one solver.progress event with cumulative work
+// counters, rates since the previous emission, search depth, arena
+// occupancy and the learnt-LBD histogram, and feeds the deltas into
+// the recorder's global sat.* counters (the -progress ticker's feed).
+// Called only with a recorder attached.
+func (s *Solver) emitProgress(final bool) {
+	now := time.Now()
+	dt := now.Sub(s.lastEmitTime).Seconds()
+	confDelta := s.stats.Conflicts - s.lastEmitConf
+	propDelta := s.stats.Propagations - s.lastEmitProps
+	propsPerSec := 0.0
+	if dt > 0 {
+		propsPerSec = float64(propDelta) / dt
+	}
+	s.lastEmitTime, s.lastEmitConf, s.lastEmitProps = now, s.stats.Conflicts, s.stats.Propagations
+	m := s.rec.Metrics()
+	m.Counter("sat.conflicts").Add(confDelta)
+	m.Counter("sat.propagations").Add(propDelta)
+	hist := make([]int64, len(s.lbdHist))
+	copy(hist, s.lbdHist[:])
+	s.rec.Emit(s.recSrc, "solver.progress",
+		obs.F("final", final),
+		obs.F("conflicts", s.stats.Conflicts),
+		obs.F("decisions", s.stats.Decisions),
+		obs.F("propagations", s.stats.Propagations),
+		obs.F("props_per_sec", int64(propsPerSec)),
+		obs.F("restarts", s.stats.Restarts),
+		obs.F("learnts", len(s.learnts)),
+		obs.F("deleted", s.stats.Deleted),
+		obs.F("imported", s.stats.Imported),
+		obs.F("exported", s.stats.Exported),
+		obs.F("trail", len(s.trail)),
+		obs.F("level", s.decisionLevel()),
+		obs.F("arena_words", len(s.ca.data)),
+		obs.F("arena_wasted", s.ca.wasted),
+		obs.F("compactions", s.stats.Compactions),
+		obs.F("lbd_hist", hist))
+}
 
 // Interrupt asks the running (or next) Solve to stop. It is safe to
 // call from any goroutine; the search loop polls the flag every 256
@@ -896,7 +981,18 @@ func luby(i int64) int64 {
 
 // Solve determines satisfiability under optional DIMACS assumptions.
 // It returns Unknown only if a conflict/time budget from Options ran out.
-func (s *Solver) Solve(assumptions ...int) Status {
+func (s *Solver) Solve(assumptions ...int) (st Status) {
+	if s.rec != nil {
+		s.progEvery = s.opts.ProgressEvery
+		if s.progEvery <= 0 {
+			s.progEvery = 4096
+		}
+		s.lastEmitTime = time.Now()
+		s.lastEmitConf, s.lastEmitProps = s.stats.Conflicts, s.stats.Propagations
+		// Every Solve ends with one final progress snapshot, so even a
+		// call that never reaches the cadence leaves a trace record.
+		defer func() { s.emitProgress(true) }()
+	}
 	s.failedCore = nil
 	if s.unsat {
 		return Unsat
@@ -955,6 +1051,7 @@ func (s *Solver) Solve(assumptions ...int) Status {
 			// assumption prefix we just retract to it and re-decide.
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
+			lbd := int32(1)
 			switch len(learnt) {
 			case 1:
 				s.uncheckedEnqueue(learnt[0], rNone)
@@ -963,9 +1060,10 @@ func (s *Solver) Solve(assumptions ...int) Status {
 				s.attachBin(learnt[0], learnt[1])
 				s.uncheckedEnqueue(learnt[0], binReason(learnt[1]))
 				s.stats.Learned++
-				s.export(learnt, s.computeLBD(learnt))
+				lbd = s.computeLBD(learnt)
+				s.export(learnt, lbd)
 			default:
-				lbd := s.computeLBD(learnt)
+				lbd = s.computeLBD(learnt)
 				cr := s.ca.alloc(learnt, true, lbd)
 				s.learnts = append(s.learnts, cr)
 				s.attach(cr)
@@ -973,6 +1071,12 @@ func (s *Solver) Solve(assumptions ...int) Status {
 				s.uncheckedEnqueue(learnt[0], clauseReason(cr))
 				s.stats.Learned++
 				s.export(learnt, lbd)
+			}
+			if s.rec != nil {
+				s.noteLearnt(lbd)
+				if s.stats.Conflicts%s.progEvery == 0 {
+					s.emitProgress(false)
+				}
 			}
 			s.varInc /= varDecay
 			s.claInc /= 0.999
