@@ -115,15 +115,12 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "trace sink error:", err)
 			}
 		}()
-		if *debugAddr != "" {
-			ds, err := rec.ServeDebug(*debugAddr)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 2
-			}
-			defer ds.Close()
-			fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/metrics\n", ds.Addr)
+		stopDebug, err := rec.MountDebug(*debugAddr, os.Stderr, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
 		}
+		defer stopDebug()
 		if *progress {
 			defer obs.StartProgress(rec, os.Stderr, 2*time.Second)()
 		}

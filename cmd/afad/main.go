@@ -1,0 +1,178 @@
+// Command afad is the AFA daemon: a long-running HTTP/JSON service
+// that accepts (correct digest, faulty digest set) attack jobs,
+// batches jobs of the same encoding shape onto shared CNF templates,
+// solves them on a worker pool, and persists every job transition so a
+// killed daemon resumes its queue on restart.
+//
+// Usage:
+//
+//	afad -addr :8347 -state /var/lib/afad -workers 2
+//	afad -genjob -mode SHA3-224 -model byte -faults 32 -seed 5
+//
+// Endpoints (see internal/service):
+//
+//	POST /v1/jobs             submit a job, 202 + snapshot
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        poll one job
+//	GET  /v1/jobs/{id}/events JSONL event tail
+//	GET  /healthz             liveness + drain state
+//	     /debug/...           metrics/trace/pprof (with -debug)
+//
+// SIGINT/SIGTERM starts a graceful drain: submits get 503, queued jobs
+// stay persisted for the next start, in-flight jobs get -drain-timeout
+// to finish before they are checkpointed back to the queue.
+//
+// -genjob does not start a daemon: it simulates a fault-injection
+// campaign (like cmd/afa would) and prints the resulting JobSpec JSON
+// to stdout — a self-contained way to produce a valid request body for
+// smoke tests and benchmarks.
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
+	"sha3afa/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8347", "HTTP listen address")
+	state := flag.String("state", "afad-state", "state directory (job store + event tails)")
+	workers := flag.Int("workers", 1, "concurrent solver workers")
+	queueDepth := flag.Int("queue-depth", 64, "queued-job bound before submits get 429")
+	batchMax := flag.Int("batch-max", 8, "max jobs per shared-template batch")
+	rate := flag.Float64("rate", 0, "submits/second per client (0 = unlimited)")
+	burst := flag.Float64("burst", 8, "per-client token-bucket burst")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown")
+	noBatch := flag.Bool("no-batching", false, "encode every job from scratch (template batching off)")
+	traceFile := flag.String("trace", "", "stream daemon observability events to this JSONL file")
+	debug := flag.Bool("debug", false, "serve /debug/metrics, /debug/trace and /debug/pprof")
+
+	genjob := flag.Bool("genjob", false, "print a simulated JobSpec JSON and exit (no daemon)")
+	modeName := flag.String("mode", "SHA3-224", "with -genjob: SHA-3 mode")
+	modelName := flag.String("model", "byte", "with -genjob: fault model")
+	faults := flag.Int("faults", 32, "with -genjob: number of injected faults")
+	seed := flag.Int64("seed", 1, "with -genjob: campaign seed")
+	knownPos := flag.Bool("known-position", true, "with -genjob: include true fault windows")
+	maxCandidates := flag.Int("max-candidates", 64, "with -genjob: candidate budget for one-shot solving")
+	flag.Parse()
+
+	if *genjob {
+		return genJob(*modeName, *modelName, *faults, *seed, *knownPos, *maxCandidates)
+	}
+
+	// The daemon-level recorder feeds the JSONL sink and the debug
+	// endpoint; per-job solver events go to each job's own tail.
+	var rec *obs.Trace
+	if *traceFile != "" || *debug {
+		var sink io.Writer
+		if *traceFile != "" {
+			tf, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			defer tf.Close()
+			sink = tf
+		}
+		rec = obs.NewTrace(sink, 4096)
+		defer func() {
+			if err := rec.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace sink error:", err)
+			}
+		}()
+	}
+	opts := service.Options{
+		StateDir:        *state,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		BatchMax:        *batchMax,
+		Rate:            *rate,
+		Burst:           *burst,
+		DrainTimeout:    *drainTimeout,
+		DisableBatching: *noBatch,
+		Recorder:        rec,
+	}
+
+	d, err := service.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	srv := service.NewServer(d)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("afad listening on http://%s (state %s, %d workers)\n", bound, *state, *workers)
+
+	// First SIGINT/SIGTERM drains gracefully; a second falls through to
+	// the runtime's default hard kill.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	<-ctx.Done()
+	stopSignals()
+
+	fmt.Fprintln(os.Stderr, "afad: draining (queued jobs stay persisted; submits now get 503)")
+	d.Drain()
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "afad: drained cleanly")
+	return 0
+}
+
+// genJob simulates a fault campaign and prints the JobSpec a client
+// would POST for it, so smoke tests and benchmarks have a one-command
+// source of valid, ground-truthed request bodies.
+func genJob(modeName, modelName string, faults int, seed int64, knownPos bool, maxCandidates int) int {
+	mode, err := keccak.ParseMode(modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	model, err := fault.Parse(modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	msg := []byte(fmt.Sprintf("afad genjob %s seed %d", mode, seed))
+	correct, injs := fault.Campaign(mode, msg, model, 22, faults, seed)
+	spec := service.JobSpec{
+		Mode:          mode.String(),
+		Model:         model.String(),
+		CorrectDigest: hex.EncodeToString(correct),
+		KnownPosition: knownPos,
+		MaxCandidates: maxCandidates,
+	}
+	for _, inj := range injs {
+		spec.FaultyDigests = append(spec.FaultyDigests, hex.EncodeToString(inj.FaultyDigest))
+		if knownPos {
+			spec.Windows = append(spec.Windows, inj.Fault.Window)
+		}
+	}
+	// The message is ground truth for smoke tests: a recovered job's
+	// "message" field must match it (and rehash to correct_digest).
+	fmt.Fprintf(os.Stderr, "genjob: message %q, digest %s\n", msg, spec.CorrectDigest)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(spec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}

@@ -20,6 +20,11 @@
 // the process exits non-zero when the attached run is more than
 // -max-overhead percent slower — the CI tripwire for internal/obs's
 // "disabled path costs one branch" contract.
+//
+// -service FILE switches to the daemon throughput benchmark: a 32-job
+// burst through the full HTTP service stack (internal/service), run
+// with template batching on and off, written as BENCH_service.json
+// (jobs/sec plus p50/p95 submit-to-done latency per variant).
 package main
 
 import (
@@ -65,10 +70,14 @@ func main() {
 	out := flag.String("out", "BENCH_solver.json", "output JSON path")
 	obsOut := flag.String("obs", "", "write a recorder-on vs recorder-off overhead comparison to this JSON path and exit")
 	maxOverhead := flag.Float64("max-overhead", 5, "with -obs: exit non-zero when recorder overhead exceeds this percentage")
+	serviceOut := flag.String("service", "", "write a daemon throughput benchmark (32-job burst, batched vs unbatched) to this JSON path and exit")
 	flag.Parse()
 
 	if *obsOut != "" {
 		os.Exit(runObsComparison(*obsOut, *short, *maxOverhead))
+	}
+	if *serviceOut != "" {
+		os.Exit(runServiceBench(*serviceOut))
 	}
 
 	var results []benchResult

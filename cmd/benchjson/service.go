@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/service"
+)
+
+// serviceFile is the BENCH_service.json schema: one 32-job burst
+// through the full HTTP daemon stack, with template batching on and
+// off. The workload is a deterministic set of quickly-refutable
+// known-position jobs, so the numbers measure the service machinery
+// (queueing, template sharing, persistence, HTTP) plus a bounded,
+// reproducible amount of solving — not an open-ended SAT search.
+type serviceFile struct {
+	Generated   string       `json:"generated"`
+	GoVersion   string       `json:"go_version"`
+	NumCPU      int          `json:"num_cpu"`
+	Jobs        int          `json:"jobs"`
+	Workers     int          `json:"workers"`
+	Batched     serviceStats `json:"batched"`
+	Unbatched   serviceStats `json:"unbatched"`
+	SpeedupPct  float64      `json:"speedup_pct"`  // wall-clock gain of batching
+	EncodeSaved int          `json:"encode_saved"` // per-job encode passes replaced by template instantiations
+}
+
+type serviceStats struct {
+	TotalMs    float64 `json:"total_ms"`     // burst submit to last job done
+	JobsPerSec float64 `json:"jobs_per_sec"` //
+	P50Ms      float64 `json:"p50_ms"`       // per-job submit-to-done latency
+	P95Ms      float64 `json:"p95_ms"`       //
+}
+
+// burstSpecs builds the deterministic 32-job workload: two encoding
+// shapes (so batching exercises more than one template), inconsistent
+// observations (digests of unrelated messages) that refute quickly
+// under known positions.
+func burstSpecs(n int) []service.JobSpec {
+	specs := make([]service.JobSpec, n)
+	for i := range specs {
+		mode := keccak.SHA3_224
+		if i%2 == 1 {
+			mode = keccak.SHA3_512
+		}
+		salt := fmt.Sprintf("bench job %d", i)
+		specs[i] = service.JobSpec{
+			Mode:          mode.String(),
+			Model:         "1-bit",
+			CorrectDigest: hex.EncodeToString(keccak.Sum(mode, []byte("correct "+salt))),
+			FaultyDigests: []string{
+				hex.EncodeToString(keccak.Sum(mode, []byte("bogus a "+salt))),
+				hex.EncodeToString(keccak.Sum(mode, []byte("bogus b "+salt))),
+			},
+			KnownPosition: true,
+			Windows:       []int{0, 1},
+		}
+	}
+	return specs
+}
+
+// runBurst pushes the whole burst through a fresh daemon over HTTP and
+// reports wall-clock plus per-job latencies.
+func runBurst(specs []service.JobSpec, disableBatching bool) (serviceStats, error) {
+	var st serviceStats
+	dir, err := os.MkdirTemp("", "benchsvc")
+	if err != nil {
+		return st, err
+	}
+	defer os.RemoveAll(dir)
+	d, err := service.New(service.Options{
+		StateDir:        dir,
+		Workers:         1,
+		QueueDepth:      len(specs) + 1,
+		DisableBatching: disableBatching,
+	})
+	if err != nil {
+		return st, err
+	}
+	srv := service.NewServer(d)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return st, err
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	t0 := time.Now()
+	ids := make([]string, 0, len(specs))
+	for _, s := range specs {
+		body, _ := json.Marshal(s)
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return st, err
+		}
+		var j service.Job
+		err = json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if err != nil {
+			return st, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return st, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		}
+		ids = append(ids, j.ID)
+	}
+
+	latencies := make([]float64, 0, len(ids))
+	for {
+		latencies = latencies[:0]
+		finished := 0
+		for _, id := range ids {
+			resp, err := http.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				return st, err
+			}
+			var j service.Job
+			err = json.NewDecoder(resp.Body).Decode(&j)
+			resp.Body.Close()
+			if err != nil {
+				return st, err
+			}
+			switch j.State {
+			case service.StateDone:
+				finished++
+				latencies = append(latencies, float64(j.Finished.Sub(j.Submitted))/float64(time.Millisecond))
+			case service.StateFailed:
+				return st, fmt.Errorf("job %s failed: %s", id, j.Error)
+			}
+		}
+		if finished == len(ids) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	total := time.Since(t0)
+	d.Drain()
+
+	sort.Float64s(latencies)
+	st.TotalMs = float64(total) / float64(time.Millisecond)
+	st.JobsPerSec = float64(len(ids)) / total.Seconds()
+	st.P50Ms = latencies[len(latencies)/2]
+	st.P95Ms = latencies[len(latencies)*95/100]
+	return st, nil
+}
+
+// runServiceBench measures the 32-job burst with batching on and off
+// and writes BENCH_service.json.
+func runServiceBench(out string) int {
+	specs := burstSpecs(32)
+	fmt.Fprintln(os.Stderr, "service burst: 32 jobs, batching off (per-job encode) ...")
+	unbatched, err := runBurst(specs, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "  total %.0fms, %.2f jobs/s, p50 %.0fms p95 %.0fms\n",
+		unbatched.TotalMs, unbatched.JobsPerSec, unbatched.P50Ms, unbatched.P95Ms)
+	fmt.Fprintln(os.Stderr, "service burst: 32 jobs, batching on (shared templates) ...")
+	batched, err := runBurst(specs, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "  total %.0fms, %.2f jobs/s, p50 %.0fms p95 %.0fms\n",
+		batched.TotalMs, batched.JobsPerSec, batched.P50Ms, batched.P95Ms)
+
+	file := serviceFile{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Jobs:        len(specs),
+		Workers:     1,
+		Batched:     batched,
+		Unbatched:   unbatched,
+		SpeedupPct:  100 * (unbatched.TotalMs - batched.TotalMs) / unbatched.TotalMs,
+		EncodeSaved: len(specs) - 2, // 2 shapes in the burst -> 2 template encodes replace 32 per-job encodes
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("wrote %s: batched %.2f jobs/s vs unbatched %.2f jobs/s (%.1f%% faster)\n",
+		out, file.Batched.JobsPerSec, file.Unbatched.JobsPerSec, file.SpeedupPct)
+	return 0
+}

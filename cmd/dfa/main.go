@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"sha3afa/internal/campaign"
@@ -36,9 +39,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancel the fault stream cleanly (supervisors send
+	// SIGTERM); a second signal falls back to the runtime's hard kill.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	campaign.SetContext(ctx)
+
 	fmt.Printf("DFA on %s under the %s fault model (seed %d, budget %d faults)\n",
 		mode, model, *seed, *maxFaults)
 	run := campaign.RunDFA(mode, model, *seed, *maxFaults)
+	if run.Err == "canceled" {
+		fmt.Fprintln(os.Stderr, "interrupted")
+		os.Exit(130)
+	}
 	if run.Infeasible {
 		fmt.Printf("INFEASIBLE: DFA fault identification cannot enumerate the %s candidate space\n", model)
 		os.Exit(1)

@@ -351,19 +351,21 @@ type DFARun struct {
 }
 
 // RunDFA executes one seeded DFA campaign mirroring RunAFA with
-// signature-based fault identification.
+// signature-based fault identification. It honours the process-wide
+// batch context (SetContext): a done context stops the fault stream
+// and marks the run canceled, the same contract the AFA runs have.
 func RunDFA(mode keccak.Mode, model fault.Model, seed int64, maxFaults int) DFARun {
-	return runDFA(mode, model, seed, maxFaults, false)
+	return runDFA(Context(), mode, model, seed, maxFaults, false)
 }
 
 // RunDFAOracle executes a DFA campaign with oracle-identified faults —
 // the baseline's most favourable setting, isolating equation
 // extraction from identification.
 func RunDFAOracle(mode keccak.Mode, model fault.Model, seed int64, maxFaults int) DFARun {
-	return runDFA(mode, model, seed, maxFaults, true)
+	return runDFA(Context(), mode, model, seed, maxFaults, true)
 }
 
-func runDFA(mode keccak.Mode, model fault.Model, seed int64, maxFaults int, oracle bool) (run DFARun) {
+func runDFA(ctx context.Context, mode keccak.Mode, model fault.Model, seed int64, maxFaults int, oracle bool) (run DFARun) {
 	run = DFARun{Mode: mode, Model: model, Seed: seed}
 	defer func() {
 		if r := recover(); r != nil {
@@ -382,6 +384,11 @@ func runDFA(mode keccak.Mode, model fault.Model, seed int64, maxFaults int, orac
 	atk.AddCorrect(correct)
 	start := time.Now()
 	for i, inj := range injs {
+		if ctx.Err() != nil {
+			run.Err = "canceled"
+			run.TotalTime = time.Since(start)
+			return run
+		}
 		if oracle {
 			if err := atk.AddInjectionKnown(inj); err != nil {
 				run.Err = err.Error()

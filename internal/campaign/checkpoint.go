@@ -40,22 +40,49 @@ func checkpointFile(dir string, mode keccak.Mode, model fault.Model, seed int64,
 	return filepath.Join(dir, name)
 }
 
-// SaveCheckpoint writes a finished run into dir atomically (a rename
-// over a temp file, so a crash mid-write never leaves a torn record).
-func SaveCheckpoint(dir string, run AFARun) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// WriteJSONAtomic writes v as indented JSON to path via a uniquely
+// named temp file in the same directory plus a rename, so readers (and
+// a crash mid-write) never observe a torn record, and concurrent
+// writers to the same path cannot clobber each other's temp file — the
+// last rename wins with a complete document either way. The parent
+// directory is created if missing. This is the durability primitive
+// behind both campaign checkpoints and the attack daemon's job store.
+func WriteJSONAtomic(path string, v any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(run, "", "  ")
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	path := checkpointFile(dir, run.Mode, run.Model, run.Seed, run.Noise)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// SaveCheckpoint writes a finished run into dir atomically (a rename
+// over a temp file, so a crash mid-write never leaves a torn record).
+func SaveCheckpoint(dir string, run AFARun) error {
+	return WriteJSONAtomic(checkpointFile(dir, run.Mode, run.Model, run.Seed, run.Noise), run)
 }
 
 // LoadCheckpoint returns the recorded run for the given parameters, or

@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// TestCheckpointConcurrentAccess is the daemon's restart-path
+// guarantee: many goroutines writing and resuming the same checkpoint
+// directory — including the same record — must never let a reader
+// observe a torn file. Atomic rename means every LoadCheckpoint either
+// misses or returns one of the complete records some writer produced.
+func TestCheckpointConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	const writers, rounds = 2, 50
+	base := AFARun{Mode: keccak.SHA3_512, Model: fault.Byte, Seed: 42, Recovered: true}
+
+	var wg sync.WaitGroup
+	var firstWrite sync.Once
+	written := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				run := base
+				run.FaultsUsed = w*rounds + i + 1 // distinguishable, always > 0
+				if err := SaveCheckpoint(dir, run); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				firstWrite.Do(func() { close(written) })
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-written // overlap with the writers, not ahead of them
+		seen := 0
+		for i := 0; i < writers*rounds; i++ {
+			run, ok := LoadCheckpoint(dir, base.Mode, base.Model, base.Seed, base.Noise)
+			if !ok {
+				t.Error("record vanished mid-rewrite: rename is not atomic")
+				return
+			}
+			seen++
+			if run.Mode != base.Mode || run.Seed != base.Seed || !run.Recovered || run.FaultsUsed <= 0 {
+				t.Errorf("torn or foreign record resumed: %+v", run)
+				return
+			}
+		}
+		t.Logf("reader observed %d complete records", seen)
+	}()
+	wg.Wait()
+
+	// After the dust settles the record must parse and be resumable.
+	if _, ok := LoadCheckpoint(dir, base.Mode, base.Model, base.Seed, base.Noise); !ok {
+		t.Fatal("no checkpoint resumable after concurrent writes")
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("leftover files after atomic writes: %v", names)
+	}
+}
+
+func TestWriteJSONAtomicCreatesParents(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "deeper", "doc.json")
+	if err := WriteJSONAtomic(path, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["x"] != 1 {
+		t.Fatalf("content mangled: %v", got)
+	}
+}

@@ -92,7 +92,9 @@ func forEachIndex(n int, fn func(i int)) {
 // forEachIndexCtx is forEachIndex with explicit cancellation: once ctx
 // is done no further index is started (indices already running finish
 // on their own — long solves are additionally interrupted because the
-// runs thread the same context into the SAT backend).
+// runs thread the same context into the SAT backend). The parallel
+// path runs on a job-granular Pool — the same scheduler the attack
+// daemon submits to.
 func forEachIndexCtx(ctx context.Context, n int, fn func(i int)) {
 	w := Workers()
 	if w > n {
@@ -107,25 +109,14 @@ func forEachIndexCtx(ctx context.Context, n int, fn func(i int)) {
 		}
 		return
 	}
-	var next int32 = -1
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(atomic.AddInt32(&next, 1))
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
+	p := NewPool(ctx, w)
+	for i := 0; i < n; i++ {
+		i := i
+		if p.Submit(func(context.Context) { fn(i) }) != nil {
+			break // canceled: remaining indices are skipped
+		}
 	}
-	wg.Wait()
+	p.Close()
 }
 
 // lockedWriter serializes Writes so rows emitted from concurrent

@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Pool is the campaign worker pool with job-granular submission: a
+// fixed set of workers consuming individually submitted tasks, instead
+// of the index-range fan-out the batch emitters use. The attack daemon
+// feeds it one task per job so jobs from different HTTP requests share
+// the same bounded parallelism; forEachIndexCtx is built on it so batch
+// emitters and the daemon exercise one scheduler.
+//
+// Tasks receive the pool's context and are expected to honour it (the
+// attack layer threads it into the SAT backend, so running solves are
+// interrupted on cancellation). After the context is done, queued tasks
+// are discarded without running and Submit fails fast.
+type Pool struct {
+	ctx   context.Context
+	tasks chan func(context.Context)
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("campaign: pool closed")
+
+// NewPool starts workers goroutines (minimum 1) consuming submitted
+// tasks until Close. A nil ctx means Background.
+func NewPool(ctx context.Context, workers int) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{ctx: ctx, tasks: make(chan func(context.Context))}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				if p.ctx.Err() != nil {
+					continue // canceled: drain without running
+				}
+				fn(p.ctx)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit hands one task to the pool, blocking until a worker accepts
+// it (the channel is unbuffered — backpressure is the queue's job, not
+// the pool's). It returns ErrPoolClosed after Close and the context
+// error once the pool's context is done.
+func (p *Pool) Submit(fn func(context.Context)) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-p.ctx.Done():
+		return p.ctx.Err()
+	}
+}
+
+// Close stops accepting tasks and waits for in-flight ones to finish
+// (or be discarded, when the context is already done). It is
+// idempotent and safe to call concurrently with Submit: submissions in
+// flight either hand their task to a worker first or fail with
+// ErrPoolClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,65 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverySubmittedTask(t *testing.T) {
+	p := NewPool(context.Background(), 4)
+	var ran int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(func(context.Context) {
+			defer wg.Done()
+			atomic.AddInt64(&ran, 1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if ran != 100 {
+		t.Fatalf("ran %d tasks, want 100", ran)
+	}
+	if err := p.Submit(func(context.Context) {}); err != ErrPoolClosed {
+		t.Fatalf("Submit after Close: %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(ctx, 2)
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(func(c context.Context) {
+			started <- struct{}{}
+			<-release
+			if c.Err() == nil {
+				t.Error("task context not canceled")
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started
+	<-started
+	cancel()
+	// Both workers are busy and the context is done: Submit must fail
+	// fast instead of blocking forever.
+	if err := p.Submit(func(context.Context) {}); err != context.Canceled {
+		t.Fatalf("Submit after cancel: %v, want context.Canceled", err)
+	}
+	close(release)
+	p.Close()
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(context.Background(), 1)
+	p.Close()
+	p.Close()
+}

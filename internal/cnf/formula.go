@@ -220,3 +220,38 @@ func (f *Formula) Clone() *Formula {
 	}
 	return c
 }
+
+// ClonePrefix returns a deep copy of the first nClauses clauses over
+// numVars variables. It is the template-instantiation fast path: the
+// literals are copied into one flat slab (a single allocation instead
+// of one per clause), and the clause headers subslice it, so cloning a
+// multi-million-clause template costs a memcpy rather than a rebuild.
+// numVars must cover every literal in the prefix; it may exceed the
+// prefix's maximum variable so the clone can pre-own variables the
+// caller is about to constrain. Panics if nClauses is out of range.
+func (f *Formula) ClonePrefix(nClauses, numVars int) *Formula {
+	if nClauses < 0 || nClauses > len(f.clauses) {
+		panic("cnf: ClonePrefix clause count out of range")
+	}
+	total := 0
+	for _, cl := range f.clauses[:nClauses] {
+		total += len(cl)
+	}
+	slab := make([]int, 0, total)
+	c := &Formula{numVars: numVars, clauses: make([][]int, nClauses)}
+	for i, cl := range f.clauses[:nClauses] {
+		start := len(slab)
+		slab = append(slab, cl...)
+		c.clauses[i] = slab[start:len(slab):len(slab)]
+		for _, l := range cl {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if v > c.numVars {
+				c.numVars = v
+			}
+		}
+	}
+	return c
+}

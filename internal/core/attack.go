@@ -87,26 +87,30 @@ type Attack struct {
 // every Solve races that many diversified solvers with clause sharing;
 // otherwise the classic single CDCL solver is used.
 func NewAttack(cfg Config) *Attack {
-	var backend solveBackend
+	return &Attack{
+		cfg:     cfg,
+		builder: NewBuilder(cfg),
+		solver:  newSolveBackend(cfg),
+		ctx:     context.Background(),
+	}
+}
+
+// newSolveBackend builds the SAT engine an attack solves with: a
+// clause-sharing portfolio with cfg.Portfolio > 1, the classic single
+// CDCL solver otherwise. Shared by NewAttack and Template.Instantiate.
+func newSolveBackend(cfg Config) solveBackend {
 	if cfg.Portfolio > 1 {
-		backend = portfolio.New(portfolio.Options{
+		return portfolio.New(portfolio.Options{
 			Workers:  cfg.Portfolio,
 			Base:     cfg.SolverOptions,
 			Recorder: cfg.Recorder,
 		})
-	} else {
-		s := sat.NewWithOptions(cfg.SolverOptions)
-		if cfg.Recorder != nil {
-			s.SetRecorder(cfg.Recorder, "sat[0]:single")
-		}
-		backend = &singleBackend{Solver: s}
 	}
-	return &Attack{
-		cfg:     cfg,
-		builder: NewBuilder(cfg),
-		solver:  backend,
-		ctx:     context.Background(),
+	s := sat.NewWithOptions(cfg.SolverOptions)
+	if cfg.Recorder != nil {
+		s.SetRecorder(cfg.Recorder, "sat[0]:single")
 	}
+	return &singleBackend{Solver: s}
 }
 
 // Builder exposes the underlying instance builder (e.g. for DIMACS

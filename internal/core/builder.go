@@ -72,20 +72,45 @@ func digestBits(digest []byte, n int) []bool {
 // AddCorrect encodes the fault-free computation: digest =
 // Trunc(R23(ι22(χ(α)))). Must be called exactly once.
 func (b *Builder) AddCorrect(digest []byte) error {
-	if b.correctAdded {
-		return fmt.Errorf("core: correct digest already added")
-	}
 	d := b.cfg.Mode.DigestBits()
 	if len(digest)*8 < d {
 		return fmt.Errorf("core: digest too short: %d bytes for %s", len(digest), b.cfg.Mode)
 	}
+	_, err := b.addCorrect(digestBits(digest, d))
+	return err
+}
+
+// addCorrect encodes the correct block. With vals == nil the digest
+// bits are left open and their CNF literals returned (the template
+// path: an instantiation fixes them later with unit clauses); with
+// vals set they are fixed inline, interleaved with the cone encoding
+// exactly the way the classic incremental path has always emitted them
+// (FixAll encodes each digest bit's remaining cone immediately before
+// its unit), so existing solver trajectories are preserved bit for bit.
+func (b *Builder) addCorrect(vals []bool) ([]int, error) {
+	if b.enc == nil {
+		return nil, fmt.Errorf("core: builder is sealed (template instantiation)")
+	}
+	if b.correctAdded {
+		return nil, fmt.Errorf("core: correct digest already added")
+	}
+	d := b.cfg.Mode.DigestBits()
 	out := b.alpha.Clone()
 	out.Chi(b.circ)
 	out.Iota(22)
 	out.Round(b.circ, 23)
-	b.enc.FixAll(out.DigestRefs(d), digestBits(digest, d))
+	refs := out.DigestRefs(d)
+	var lits []int
+	if vals != nil {
+		b.enc.FixAll(refs, vals)
+	} else {
+		lits = make([]int, len(refs))
+		for i, r := range refs {
+			lits[i] = b.enc.Lit(r)
+		}
+	}
 	b.correctAdded = true
-	return nil
+	return lits, nil
 }
 
 // AddFaulty encodes one faulty observation under the relaxed fault
@@ -99,6 +124,21 @@ func (b *Builder) AddFaulty(faultyDigest []byte, knownWindow int) error {
 	if len(faultyDigest)*8 < d {
 		return fmt.Errorf("core: faulty digest too short")
 	}
+	_, err := b.addFaulty(digestBits(faultyDigest, d), knownWindow)
+	return err
+}
+
+// addFaulty encodes one faulty block. With vals == nil the digest bits
+// are left open and their literals returned, and no known-window unit
+// is emitted even under cfg.KnownPosition — both are deferred to
+// template instantiation (the window selector literals are recorded in
+// the instance, so an instantiation can pin any window later). With
+// vals set the behaviour and clause order are the classic ones.
+func (b *Builder) addFaulty(vals []bool, knownWindow int) ([]int, error) {
+	if b.enc == nil {
+		return nil, fmt.Errorf("core: builder is sealed (template instantiation)")
+	}
+	d := b.cfg.Mode.DigestBits()
 
 	// Symbolic difference at the θ input of round 22.
 	delta := symbolic.NewSymInput(b.circ)
@@ -128,9 +168,9 @@ func (b *Builder) AddFaulty(faultyDigest []byte, knownWindow int) error {
 	// At most one window is faulted, and the fault is non-zero.
 	b.form.AtMostOne(inst.selLits)
 	b.form.AddClause(inst.deltaLits...)
-	if b.cfg.KnownPosition {
+	if b.cfg.KnownPosition && vals != nil {
 		if knownWindow < 0 || knownWindow >= windows {
-			return fmt.Errorf("core: KnownPosition set but window %d invalid", knownWindow)
+			return nil, fmt.Errorf("core: KnownPosition set but window %d invalid", knownWindow)
 		}
 		b.form.Unit(inst.selLits[knownWindow])
 	}
@@ -143,10 +183,19 @@ func (b *Builder) AddFaulty(faultyDigest []byte, knownWindow int) error {
 	out.Chi(b.circ)
 	out.Iota(22)
 	out.Round(b.circ, 23)
-	b.enc.FixAll(out.DigestRefs(d), digestBits(faultyDigest, d))
+	refs := out.DigestRefs(d)
+	var lits []int
+	if vals != nil {
+		b.enc.FixAll(refs, vals)
+	} else {
+		lits = make([]int, len(refs))
+		for i, r := range refs {
+			lits[i] = b.enc.Lit(r)
+		}
+	}
 
 	b.instances = append(b.instances, inst)
-	return nil
+	return lits, nil
 }
 
 // DecodeAlpha reads the recovered χ input of round 22 from a model.

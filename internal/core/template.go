@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sha3afa/internal/cnf"
+	"sha3afa/internal/keccak"
+)
+
+// Template is a pre-encoded attack skeleton for one (mode, fault
+// model, position knowledge) shape. The symbolic two-round system and
+// its Tseitin CNF are identical for every attack of that shape — only
+// the digest constants (and, under KnownPosition, the window units)
+// differ, and those enter the formula purely as unit clauses. A
+// template therefore encodes the correct block and up to Capacity()
+// faulty blocks once, with the digest bits left open, and records each
+// block's digest literals plus the clause/variable watermark it ends
+// at. Instantiate then stamps out a ready-to-solve Attack by cloning
+// the first k blocks of the frozen CNF (one flat memcpy) and fixing
+// the open literals with the observation's concrete digests — the
+// whole symbolic walk, hash-consing and gadget emission are skipped.
+//
+// This is the amortization the service batcher leans on: jobs queued
+// under the same (mode, fault-model) key share one template, so a
+// batch pays the encode phase once instead of once per job.
+//
+// A Template is safe for concurrent use; it grows lazily (EnsureCapacity)
+// and never shrinks. Guarded attacks cannot be templated: their
+// activation guards are allocated per observation at AddFaulty time by
+// the Attack layer, which the template path bypasses.
+type Template struct {
+	cfg Config
+
+	mu          sync.Mutex
+	b           *Builder
+	correctLits []int
+	blocks      []templateBlock
+}
+
+// templateBlock is the watermark after one encoded faulty block.
+type templateBlock struct {
+	digestLits []int
+	clauses    int // formula clause count once this block is encoded
+	vars       int // formula variable count once this block is encoded
+}
+
+// NewTemplate encodes the shared skeleton for cfg's shape: the correct
+// block only; faulty capacity is grown on demand. Only cfg.Mode,
+// cfg.Model, cfg.KnownPosition and cfg.Round shape the template —
+// solver options, portfolio width, candidate budgets and recorders are
+// supplied per job at Instantiate time.
+func NewTemplate(cfg Config) (*Template, error) {
+	if cfg.Guarded {
+		return nil, fmt.Errorf("core: guarded attacks cannot share a template (per-observation guards are allocated outside the builder)")
+	}
+	t := &Template{cfg: cfg, b: NewBuilder(cfg)}
+	lits, err := t.b.addCorrect(nil)
+	if err != nil {
+		return nil, err
+	}
+	t.correctLits = lits
+	return t, nil
+}
+
+// Capacity returns how many faulty blocks are currently encoded.
+func (t *Template) Capacity() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.blocks)
+}
+
+// EnsureCapacity grows the template to at least k faulty blocks.
+func (t *Template) EnsureCapacity(k int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ensureLocked(k)
+}
+
+func (t *Template) ensureLocked(k int) error {
+	for len(t.blocks) < k {
+		lits, err := t.b.addFaulty(nil, -1)
+		if err != nil {
+			return err
+		}
+		t.blocks = append(t.blocks, templateBlock{
+			digestLits: lits,
+			clauses:    t.b.form.NumClauses(),
+			vars:       t.b.form.NumVars(),
+		})
+	}
+	return nil
+}
+
+// Instantiate stamps out a ready Attack for one observation set:
+// correct digest, len(faulty) faulty digests, and — iff the template
+// shape has KnownPosition — one true window index per observation.
+// cfg carries the per-job tuning (solver options, portfolio,
+// preprocessing, candidate budget, recorder); its structural fields
+// must match the template's shape. The returned Attack is sealed: it
+// solves, decodes and extracts like any other, but accepts no further
+// observations (AddCorrect/AddFaulty report an error).
+func (t *Template) Instantiate(cfg Config, correct []byte, faulty [][]byte, windows []int) (*Attack, error) {
+	if cfg.Mode != t.cfg.Mode || cfg.Model != t.cfg.Model ||
+		cfg.KnownPosition != t.cfg.KnownPosition || cfg.Round != t.cfg.Round {
+		return nil, fmt.Errorf("core: config shape (%s, %s, known=%v, round %d) does not match template (%s, %s, known=%v, round %d)",
+			cfg.Mode, cfg.Model, cfg.KnownPosition, cfg.Round,
+			t.cfg.Mode, t.cfg.Model, t.cfg.KnownPosition, t.cfg.Round)
+	}
+	if cfg.Guarded {
+		return nil, fmt.Errorf("core: guarded attacks cannot be instantiated from a template")
+	}
+	d := t.cfg.Mode.DigestBits()
+	if len(correct)*8 < d {
+		return nil, fmt.Errorf("core: digest too short: %d bytes for %s", len(correct), t.cfg.Mode)
+	}
+	k := len(faulty)
+	if k == 0 {
+		return nil, fmt.Errorf("core: no faulty digests to instantiate")
+	}
+	for i, fd := range faulty {
+		if len(fd)*8 < d {
+			return nil, fmt.Errorf("core: faulty digest %d too short", i)
+		}
+	}
+	if t.cfg.KnownPosition {
+		if len(windows) != k {
+			return nil, fmt.Errorf("core: KnownPosition template needs %d windows, got %d", k, len(windows))
+		}
+		for i, w := range windows {
+			if w < 0 || w >= t.cfg.Model.Windows() {
+				return nil, fmt.Errorf("core: window %d of observation %d out of range", w, i)
+			}
+		}
+	} else if len(windows) != 0 {
+		return nil, fmt.Errorf("core: windows supplied but template is relaxed-position")
+	}
+
+	t.mu.Lock()
+	if err := t.ensureLocked(k); err != nil {
+		t.mu.Unlock()
+		return nil, err
+	}
+	// Snapshot under the lock: a concurrent EnsureCapacity may append to
+	// (and reallocate) the formula's clause list at any time, so the
+	// prefix clone and the per-block literal slices are taken here. The
+	// literal slices themselves are append-only history — safe to share.
+	last := t.blocks[k-1]
+	form := t.b.form.ClonePrefix(last.clauses, last.vars)
+	instances := append([]instance(nil), t.b.instances[:k]...)
+	correctLits := t.correctLits
+	blocks := append([]templateBlock(nil), t.blocks[:k]...)
+	alphaLits := t.b.alphaLits
+	t.mu.Unlock()
+
+	// Fix the open digest bits — the only per-job constants — and, for
+	// KnownPosition shapes, pin each observation's true window.
+	fixDigestUnits(form, correctLits, correct)
+	for i, fd := range faulty {
+		fixDigestUnits(form, blocks[i].digestLits, fd)
+		if t.cfg.KnownPosition {
+			form.Unit(instances[i].selLits[windows[i]])
+		}
+	}
+
+	b := &Builder{
+		cfg:          cfg,
+		form:         form,
+		alphaLits:    alphaLits,
+		correctAdded: true,
+		instances:    instances,
+	}
+	return &Attack{
+		cfg:           cfg,
+		builder:       b,
+		solver:        newSolveBackend(cfg),
+		ctx:           context.Background(),
+		correctDigest: append([]byte(nil), correct...),
+	}, nil
+}
+
+// fixDigestUnits emits the unit clauses pinning a block's open digest
+// literals to a concrete digest.
+func fixDigestUnits(f *cnf.Formula, lits []int, digest []byte) {
+	for i, l := range lits {
+		if keccak.DigestBitsOf(digest, i) {
+			f.Unit(l)
+		} else {
+			f.Unit(-l)
+		}
+	}
+}

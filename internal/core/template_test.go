@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"sha3afa/internal/cnf"
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// clauseMultiset canonicalizes a formula's clause list for comparison:
+// literals sorted within each clause, clauses sorted lexically. The
+// template path emits the digest unit clauses after the cone instead
+// of interleaved with it, so clause ORDER differs from the classic
+// incremental path by design — the clause SET must not.
+func clauseMultiset(f *cnf.Formula) []string {
+	out := make([]string, 0, f.NumClauses())
+	for _, c := range f.Clauses() {
+		s := append([]int(nil), c...)
+		sort.Ints(s)
+		out = append(out, fmt.Sprint(s))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSameClauseSet(t *testing.T, classic, templated *cnf.Formula) {
+	t.Helper()
+	if classic.NumVars() != templated.NumVars() {
+		t.Fatalf("vars: classic %d, template %d", classic.NumVars(), templated.NumVars())
+	}
+	if classic.NumClauses() != templated.NumClauses() {
+		t.Fatalf("clauses: classic %d, template %d", classic.NumClauses(), templated.NumClauses())
+	}
+	a, b := clauseMultiset(classic), clauseMultiset(templated)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clause multiset diverges at %d:\n classic  %s\n template %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTemplateMatchesClassicCNF is the structural core of the batching
+// argument: instantiating a shared template with concrete digests must
+// yield exactly the clause set the classic per-job encoder builds.
+func TestTemplateMatchesClassicCNF(t *testing.T) {
+	mode := keccak.SHA3_224
+	msg := []byte("template parity")
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, 3, 9)
+
+	for _, knownPos := range []bool{false, true} {
+		cfg := DefaultConfig(mode, fault.Byte)
+		cfg.KnownPosition = knownPos
+
+		classic := NewBuilder(cfg)
+		if err := classic.AddCorrect(correct); err != nil {
+			t.Fatal(err)
+		}
+		faulty := make([][]byte, len(injs))
+		windows := make([]int, len(injs))
+		for i, inj := range injs {
+			faulty[i] = inj.FaultyDigest
+			windows[i] = inj.Fault.Window
+			w := -1
+			if knownPos {
+				w = inj.Fault.Window
+			}
+			if err := classic.AddFaulty(inj.FaultyDigest, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		tpl, err := NewTemplate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var winArg []int
+		if knownPos {
+			winArg = windows
+		}
+		atk, err := tpl.Instantiate(cfg, correct, faulty, winArg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameClauseSet(t, classic.Formula(), atk.Builder().Formula())
+		if got := atk.Builder().NumInstances(); got != len(injs) {
+			t.Fatalf("knownPos=%v: %d instances, want %d", knownPos, got, len(injs))
+		}
+	}
+}
+
+// TestTemplateReinstantiation: the same template must stamp out
+// identical formulas twice (no state leaks between instantiations),
+// and a smaller k must reuse the grown capacity.
+func TestTemplateReinstantiation(t *testing.T) {
+	mode := keccak.SHA3_224
+	correct, injs := fault.Campaign(mode, []byte("re-instantiate"), fault.Byte, 22, 3, 4)
+	faulty := make([][]byte, len(injs))
+	for i, inj := range injs {
+		faulty[i] = inj.FaultyDigest
+	}
+
+	cfg := DefaultConfig(mode, fault.Byte)
+	tpl, err := NewTemplate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := tpl.Instantiate(cfg, correct, faulty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := tpl.Instantiate(cfg, correct, faulty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameClauseSet(t, a1.Builder().Formula(), a2.Builder().Formula())
+
+	// Shrunk instantiation: the k=1 prefix of a capacity-3 template must
+	// equal a fresh classic encoding with one observation.
+	small, err := tpl.Instantiate(cfg, correct, faulty[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := NewBuilder(cfg)
+	if err := classic.AddCorrect(correct); err != nil {
+		t.Fatal(err)
+	}
+	if err := classic.AddFaulty(faulty[0], -1); err != nil {
+		t.Fatal(err)
+	}
+	assertSameClauseSet(t, classic.Formula(), small.Builder().Formula())
+	if tpl.Capacity() != 3 {
+		t.Fatalf("capacity = %d, want 3", tpl.Capacity())
+	}
+}
+
+// TestTemplateSealedAndValidation covers the instantiated attack's
+// sealed builder and the template's input validation.
+func TestTemplateSealedAndValidation(t *testing.T) {
+	mode := keccak.SHA3_224
+	correct, injs := fault.Campaign(mode, []byte("sealed"), fault.Byte, 22, 1, 5)
+
+	cfg := DefaultConfig(mode, fault.Byte)
+	tpl, err := NewTemplate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := tpl.Instantiate(cfg, correct, [][]byte{injs[0].FaultyDigest}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.AddCorrect(correct); err == nil {
+		t.Fatal("sealed attack accepted AddCorrect")
+	}
+	if err := atk.AddFaulty(injs[0].FaultyDigest, -1); err == nil {
+		t.Fatal("sealed attack accepted AddFaulty")
+	}
+
+	if _, err := tpl.Instantiate(cfg, correct, nil, nil); err == nil {
+		t.Fatal("empty faulty set accepted")
+	}
+	if _, err := tpl.Instantiate(cfg, correct[:2], [][]byte{injs[0].FaultyDigest}, nil); err == nil {
+		t.Fatal("short correct digest accepted")
+	}
+	if _, err := tpl.Instantiate(cfg, correct, [][]byte{correct[:3]}, nil); err == nil {
+		t.Fatal("short faulty digest accepted")
+	}
+	if _, err := tpl.Instantiate(cfg, correct, [][]byte{injs[0].FaultyDigest}, []int{1}); err == nil {
+		t.Fatal("windows accepted by relaxed-position template")
+	}
+
+	other := DefaultConfig(keccak.SHA3_256, fault.Byte)
+	if _, err := tpl.Instantiate(other, correct, [][]byte{injs[0].FaultyDigest}, nil); err == nil {
+		t.Fatal("mode mismatch accepted")
+	}
+	guarded := cfg
+	guarded.Guarded = true
+	if _, err := NewTemplate(guarded); err == nil {
+		t.Fatal("guarded template accepted")
+	}
+	if _, err := tpl.Instantiate(guarded, correct, [][]byte{injs[0].FaultyDigest}, nil); err == nil {
+		t.Fatal("guarded instantiation accepted")
+	}
+
+	kp := cfg
+	kp.KnownPosition = true
+	kt, err := NewTemplate(kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kt.Instantiate(kp, correct, [][]byte{injs[0].FaultyDigest}, nil); err == nil {
+		t.Fatal("KnownPosition instantiation without windows accepted")
+	}
+	if _, err := kt.Instantiate(kp, correct, [][]byte{injs[0].FaultyDigest}, []int{-1}); err == nil {
+		t.Fatal("out-of-range window accepted")
+	}
+}
+
+// TestTemplateSolveParity: a template-instantiated attack must reach
+// the same verdicts the classic attack reaches on the same
+// observations — here the cheap deterministic one: out-of-model
+// observations are Inconsistent either way.
+func TestTemplateSolveParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	mode := keccak.SHA3_512
+	cfg := DefaultConfig(mode, fault.SingleBit)
+	correct := keccak.Sum(mode, []byte("real message"))
+	bogus := keccak.Sum(mode, []byte("completely unrelated"))
+
+	classic := NewAttack(cfg)
+	classic.AddCorrect(correct)
+	classic.AddFaulty(bogus, -1)
+	want, err := classic.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tpl, err := NewTemplate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := tpl.Instantiate(cfg, correct, [][]byte{bogus}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := atk.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != want.Status || got.Status != Inconsistent {
+		t.Fatalf("template status %s, classic %s, want inconsistent", got.Status, want.Status)
+	}
+	if got.Vars != want.Vars || got.Clauses != want.Clauses {
+		t.Fatalf("instance size diverges: template %d/%d, classic %d/%d",
+			got.Vars, got.Clauses, want.Vars, want.Clauses)
+	}
+}
+
+// TestTemplateRecovery: full pipeline through the template path — a
+// known-position byte campaign instantiated in one shot must recover
+// the ground-truth state and identify the injected faults.
+func TestTemplateRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("solver-heavy test skipped under -race")
+	}
+	msg := []byte("template recovery")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, 32, 5)
+	truth := keccak.TraceHash(mode, msg).ChiInput(22)
+
+	cfg := DefaultConfig(mode, fault.Byte)
+	cfg.KnownPosition = true
+	// One-shot solving sees none of the blocking clauses an incremental
+	// session accumulates, so it needs a deeper candidate budget.
+	cfg.MaxCandidates = 64
+	tpl, err := NewTemplate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := make([][]byte, len(injs))
+	windows := make([]int, len(injs))
+	for i, inj := range injs {
+		faulty[i] = inj.FaultyDigest
+		windows[i] = inj.Fault.Window
+	}
+	atk, err := tpl.Instantiate(cfg, correct, faulty, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := atk.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Recovered {
+		t.Fatalf("status = %s, want recovered", res.Status)
+	}
+	if !res.ChiInput.Equal(&truth) {
+		t.Fatal("template attack recovered wrong state")
+	}
+	rfs, err := atk.RecoveredFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, rf := range rfs {
+		if rf.Silent || rf.Fault != injs[k].Fault {
+			t.Fatalf("fault %d misidentified: %+v vs %+v", k, rf, injs[k].Fault)
+		}
+	}
+}

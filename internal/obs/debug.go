@@ -25,18 +25,16 @@ type DebugServer struct {
 // Close shuts the endpoint down.
 func (d *DebugServer) Close() error { return d.srv.Close() }
 
-// ServeDebug starts an HTTP server on addr exposing
+// DebugMux returns the standard debug mux over this trace:
 //
 //	/debug/metrics  JSON snapshot of every counter/gauge/timer
 //	/debug/trace    JSON array of the event ring (most recent events)
 //	/debug/pprof/*  the standard runtime profiles
 //
-// It returns once the listener is bound; the server runs until Close.
-func (t *Trace) ServeDebug(addr string) (*DebugServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// ServeDebug mounts it on its own listener; servers with a mux of
+// their own (the attack daemon) mount it alongside their API routes so
+// one port serves both.
+func (t *Trace) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -55,9 +53,37 @@ func (t *Trace) ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux}
+	return mux
+}
+
+// ServeDebug starts an HTTP server on addr exposing DebugMux's
+// endpoints. It returns once the listener is bound; the server runs
+// until Close.
+func (t *Trace) ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: t.DebugMux()}
 	go func() { _ = srv.Serve(ln) }()
 	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// MountDebug is the shared -debug-addr wiring of the command-line
+// tools: when addr is non-empty it starts the debug endpoint and
+// announces it on w (linePrefix lets DIMACS-style outputs keep their
+// comment leader). The returned stop function is always non-nil and
+// safe to defer.
+func (t *Trace) MountDebug(addr string, w io.Writer, linePrefix string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ds, err := t.ServeDebug(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "%sdebug endpoint on http://%s/debug/metrics\n", linePrefix, ds.Addr)
+	return func() { _ = ds.Close() }, nil
 }
 
 // StartProgress runs a live ticker printing one compact progress line

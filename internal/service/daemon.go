@@ -1,0 +1,472 @@
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sha3afa/internal/campaign"
+	"sha3afa/internal/core"
+	"sha3afa/internal/obs"
+)
+
+// ErrDraining is returned by Submit once a drain has begun (HTTP 503).
+var ErrDraining = errors.New("service: daemon is draining")
+
+// Options configures a Daemon. Zero values get sensible defaults.
+type Options struct {
+	StateDir   string  // job store directory (required)
+	Workers    int     // concurrent jobs (default 1)
+	QueueDepth int     // queued-job bound before 429 (default 64)
+	BatchMax   int     // max jobs popped per shared-template batch (default 8)
+	Rate       float64 // submits/second per client, 0 = unlimited
+	Burst      float64 // token-bucket burst (default 8 when Rate > 0)
+	// DrainTimeout bounds how long Drain waits for in-flight jobs before
+	// interrupting their solves and re-queueing them (default 30s).
+	DrainTimeout time.Duration
+	// Recorder receives daemon-level events and metrics (job lifecycle,
+	// queue depth); per-job solver events go to each job's own tail.
+	Recorder *obs.Trace
+	// DisableBatching encodes every job from scratch instead of
+	// instantiating shared templates — the benchmark baseline that
+	// quantifies what batching buys.
+	DisableBatching bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 64
+	}
+	if o.BatchMax < 1 {
+		o.BatchMax = 8
+	}
+	if o.Rate > 0 && o.Burst < 1 {
+		o.Burst = 8
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Daemon owns the queue, the template cache, the worker pool and the
+// job store. One dispatcher goroutine pops key-grouped batches and
+// submits each job to the pool; workers run jobs to completion,
+// persisting every transition.
+type Daemon struct {
+	opts    Options
+	store   *Store
+	queue   *queue
+	limiter *rateLimiter
+
+	ctx    context.Context // root: done only on Kill / post-drain-timeout interrupt
+	cancel context.CancelFunc
+	pool   *campaign.Pool
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	templates map[string]*core.Template
+	nextID    int64
+
+	draining atomic.Bool
+	killed   atomic.Bool // test hook: simulate SIGKILL (skip all persists)
+
+	dispatcherDone chan struct{}
+	drainOnce      sync.Once
+}
+
+// New opens the state directory, re-enqueues unfinished jobs from a
+// previous life (queued and running alike — a running record means the
+// process died mid-job), and starts the dispatcher and worker pool.
+func New(opts Options) (*Daemon, error) {
+	opts = opts.withDefaults()
+	store, err := NewStore(opts.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	prev, err := store.LoadJobs()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Daemon{
+		opts:           opts,
+		store:          store,
+		queue:          newQueue(opts.QueueDepth),
+		limiter:        newRateLimiter(opts.Rate, opts.Burst),
+		ctx:            ctx,
+		cancel:         cancel,
+		jobs:           make(map[string]*Job),
+		templates:      make(map[string]*core.Template),
+		nextID:         nextSeq(prev),
+		dispatcherDone: make(chan struct{}),
+	}
+	for _, j := range prev {
+		d.jobs[j.ID] = j
+		if j.State == StateQueued || j.State == StateRunning {
+			if j.State == StateRunning {
+				// Interrupted mid-run by a kill: back to the queue.
+				j.State = StateQueued
+				if err := store.SaveJob(j); err != nil {
+					cancel()
+					return nil, err
+				}
+			}
+			if err := d.queue.push(j); err != nil {
+				cancel()
+				return nil, fmt.Errorf("service: %d unfinished jobs exceed the queue depth %d: %w",
+					len(prev), opts.QueueDepth, err)
+			}
+			obs.Emit(recOf(opts.Recorder), "service", "job.resumed", obs.F("job", j.ID))
+		}
+	}
+	d.pool = campaign.NewPool(ctx, opts.Workers)
+	go d.dispatch()
+	return d, nil
+}
+
+// Submit validates, persists and enqueues one job. The returned Job is
+// a snapshot; poll Job(id) for progress.
+func (d *Daemon) Submit(spec JobSpec, client string) (*Job, error) {
+	if _, err := spec.parse(); err != nil {
+		return nil, err
+	}
+	if d.draining.Load() {
+		return nil, ErrDraining
+	}
+	d.mu.Lock()
+	id := fmt.Sprintf("j-%06d", d.nextID)
+	d.nextID++
+	job := &Job{
+		ID: id, Client: client, Spec: spec,
+		State: StateQueued, Submitted: time.Now().UTC(),
+	}
+	d.jobs[id] = job
+	snap := job.clone()
+	err := d.store.SaveJob(job)
+	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.queue.push(job); err != nil {
+		// Rolled back: the record must not resurrect on restart.
+		d.mu.Lock()
+		delete(d.jobs, id)
+		d.mu.Unlock()
+		_ = d.store.DeleteJob(id)
+		if errors.Is(err, ErrQueueClosed) {
+			return nil, ErrDraining
+		}
+		return nil, err
+	}
+	obs.Emit(d.rec(), "service", "job.submitted",
+		obs.F("job", id), obs.F("key", spec.batchKey()), obs.F("queued", d.queue.len()))
+	if d.opts.Recorder != nil {
+		d.opts.Recorder.Metrics().Counter("service.submitted").Add(1)
+		d.opts.Recorder.Metrics().Gauge("service.queue_depth").Set(int64(d.queue.len()))
+	}
+	return snap, nil
+}
+
+// Allow applies the per-client rate limit (one token per submit).
+func (d *Daemon) Allow(client string) bool { return d.limiter.allow(client) }
+
+// Draining reports whether a drain has begun.
+func (d *Daemon) Draining() bool { return d.draining.Load() }
+
+// Job returns a snapshot of one job, or nil when unknown.
+func (d *Daemon) Job(id string) *Job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j, ok := d.jobs[id]; ok {
+		return j.clone()
+	}
+	return nil
+}
+
+// Jobs returns snapshots of every known job in ID (submission) order.
+func (d *Daemon) Jobs() []*Job {
+	d.mu.Lock()
+	out := make([]*Job, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		out = append(out, j.clone())
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// rec converts the configured trace to the Recorder interface without
+// the typed-nil foot-gun (a nil *Trace must be a nil interface).
+func (d *Daemon) rec() obs.Recorder { return recOf(d.opts.Recorder) }
+
+func recOf(t *obs.Trace) obs.Recorder {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
+// Events returns the raw JSONL event tail of a job.
+func (d *Daemon) Events(id string) ([]byte, error) { return d.store.ReadEvents(id) }
+
+// dispatch pops key-grouped batches and fans each job out to the
+// worker pool. All jobs of one batch share one template lookup (and
+// therefore one encode pass the first time a shape is seen).
+func (d *Daemon) dispatch() {
+	defer close(d.dispatcherDone)
+	for {
+		batch, ok := d.queue.popBatch(d.opts.BatchMax)
+		if !ok {
+			return
+		}
+		tpl := d.templateFor(batch[0].Spec)
+		obs.Emit(d.rec(), "service", "batch.dispatch",
+			obs.F("key", batch[0].Spec.batchKey()), obs.F("jobs", len(batch)),
+			obs.F("batched", tpl != nil))
+		for _, j := range batch {
+			j := j
+			if err := d.pool.Submit(func(ctx context.Context) { d.runJob(ctx, j, tpl) }); err != nil {
+				// Pool closed or root context canceled: the job was never
+				// started and its record still says queued — exactly what
+				// the next start expects.
+				return
+			}
+		}
+	}
+}
+
+// templateFor returns (building or growing on first use) the shared
+// template for the spec's shape, or nil when batching is disabled.
+// Template construction is the expensive encode pass; instantiation
+// per job is a prefix memcpy plus unit clauses.
+func (d *Daemon) templateFor(spec JobSpec) *core.Template {
+	if d.opts.DisableBatching {
+		return nil
+	}
+	p, err := spec.parse() // validated at submit; cannot fail here
+	if err != nil {
+		return nil
+	}
+	key := spec.batchKey()
+	d.mu.Lock()
+	tpl, ok := d.templates[key]
+	d.mu.Unlock()
+	if !ok {
+		cfg := core.DefaultConfig(p.mode, p.model)
+		cfg.KnownPosition = spec.KnownPosition
+		stop := obs.Span(d.rec(), "service", "template.encode", obs.F("key", key))
+		tpl, err = core.NewTemplate(cfg)
+		stop(obs.F("err", err != nil))
+		if err != nil {
+			return nil
+		}
+		d.mu.Lock()
+		if prior, ok := d.templates[key]; ok {
+			tpl = prior // lost a (harmless) race with another dispatcher life
+		} else {
+			d.templates[key] = tpl
+		}
+		d.mu.Unlock()
+	}
+	return tpl
+}
+
+// runJob executes one job on a worker: instantiate (or encode), solve
+// under the job's budgets, decode, persist. A root-context
+// cancellation (kill or drain timeout) re-queues the job instead of
+// failing it — the drain contract is finish or checkpoint, never lose.
+func (d *Daemon) runJob(ctx context.Context, j *Job, tpl *core.Template) {
+	d.setState(j, func() {
+		j.State = StateRunning
+		j.Started = time.Now().UTC()
+		j.Attempts++
+	})
+	if d.opts.Recorder != nil {
+		d.opts.Recorder.Metrics().Gauge("service.queue_depth").Set(int64(d.queue.len()))
+	}
+
+	// Per-job recorder: the JSONL sink is the job's event tail, which
+	// persists across re-runs (O_APPEND) — no ring needed, the events
+	// endpoint serves the file.
+	var rec obs.Recorder
+	ef, err := d.store.OpenEvents(j.ID)
+	if err == nil {
+		rec = obs.NewTrace(ef, 0)
+		defer ef.Close()
+	}
+	obs.Emit(rec, "service", "job.start", obs.F("job", j.ID), obs.F("attempt", j.Attempts))
+
+	res, jerr := d.solve(ctx, j, tpl, rec)
+	if d.ctx.Err() != nil {
+		// Killed or drain-interrupted, not a job outcome. With a real
+		// SIGKILL (or its test double) nothing more is persisted and the
+		// record stays at running; a drain interrupt checkpoints the job
+		// back to queued so the next start re-runs it.
+		obs.Emit(rec, "service", "job.interrupted", obs.F("job", j.ID))
+		if !d.killed.Load() {
+			d.setState(j, func() {
+				j.State = StateQueued
+			})
+		}
+		return
+	}
+	d.setState(j, func() {
+		j.Finished = time.Now().UTC()
+		if jerr != nil {
+			j.State = StateFailed
+			j.Error = jerr.Error()
+		} else {
+			j.State = StateDone
+			j.Result = res
+		}
+	})
+	obs.Emit(rec, "service", "job.finish",
+		obs.F("job", j.ID), obs.F("state", j.State), obs.F("status", resultStatus(res)))
+	obs.Emit(d.rec(), "service", "job.finish",
+		obs.F("job", j.ID), obs.F("state", j.State), obs.F("status", resultStatus(res)))
+	if d.opts.Recorder != nil {
+		d.opts.Recorder.Metrics().Counter("service.finished").Add(1)
+	}
+}
+
+func resultStatus(r *JobResult) string {
+	if r == nil {
+		return ""
+	}
+	return r.Status
+}
+
+// solve runs the attack for one job. tpl == nil means the classic
+// per-job encode path.
+func (d *Daemon) solve(ctx context.Context, j *Job, tpl *core.Template, rec obs.Recorder) (*JobResult, error) {
+	p, err := j.Spec.parse()
+	if err != nil {
+		return nil, err // unreachable: validated at submit
+	}
+	cfg := core.DefaultConfig(p.mode, p.model)
+	cfg.KnownPosition = j.Spec.KnownPosition
+	if j.Spec.MaxCandidates > 0 {
+		cfg.MaxCandidates = j.Spec.MaxCandidates
+	}
+	if j.Spec.MaxConflicts > 0 {
+		cfg.SolverOptions.MaxConflicts = j.Spec.MaxConflicts
+	}
+	if rec != nil {
+		cfg.Recorder = rec
+	}
+
+	var atk *core.Attack
+	batched := false
+	if tpl != nil {
+		atk, err = tpl.Instantiate(cfg, p.correct, p.faulty, p.windows)
+		if err != nil {
+			return nil, err
+		}
+		batched = true
+	} else {
+		atk = core.NewAttack(cfg)
+		if err := atk.AddCorrect(p.correct); err != nil {
+			return nil, err
+		}
+		for i, fd := range p.faulty {
+			w := -1
+			if j.Spec.KnownPosition {
+				w = p.windows[i]
+			}
+			if err := atk.AddFaulty(fd, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	jobCtx := ctx
+	if j.Spec.TimeoutSec > 0 {
+		var cancel context.CancelFunc
+		jobCtx, cancel = context.WithTimeout(ctx, time.Duration(j.Spec.TimeoutSec*float64(time.Second)))
+		defer cancel()
+	}
+	res, err := atk.SolveContext(jobCtx)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &JobResult{
+		Status:      res.Status.String(),
+		Candidates:  res.Candidates,
+		Vars:        res.Vars,
+		Clauses:     res.Clauses,
+		SolveMillis: float64(res.SolveTime) / float64(time.Millisecond),
+		Batched:     batched,
+	}
+	for _, st := range atk.SolverStats() {
+		out.Conflicts += st.Stats.Conflicts
+		out.Propagations += st.Stats.Propagations
+	}
+	if res.Status == core.Recovered {
+		out.ChiInput = hex.EncodeToString(res.ChiInput.Bytes())
+		if msg, ok := atk.ExtractMessage(res.ChiInput); ok {
+			out.Message = hex.EncodeToString(msg)
+		}
+	}
+	return out, nil
+}
+
+// setState applies a mutation to a job and persists it, all under the
+// daemon lock so HTTP snapshots never see a half-applied transition.
+// Persists are suppressed after Kill: a SIGKILLed process would not
+// have reached the disk either, and the restart path must cope.
+func (d *Daemon) setState(j *Job, mutate func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	mutate()
+	if !d.killed.Load() {
+		_ = d.store.SaveJob(j)
+	}
+}
+
+// Drain gracefully shuts the daemon down: new submits fail with
+// ErrDraining, queued jobs stay persisted for the next start, and
+// in-flight jobs get DrainTimeout to finish before their solves are
+// interrupted and the jobs checkpointed back to queued. It returns
+// once every worker has stopped.
+func (d *Daemon) Drain() {
+	d.drainOnce.Do(func() {
+		d.draining.Store(true)
+		d.queue.close()
+		<-d.dispatcherDone
+		obs.Emit(d.rec(), "service", "daemon.drain", obs.F("queued", d.queue.len()))
+		done := make(chan struct{})
+		go func() { d.pool.Close(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(d.opts.DrainTimeout):
+			d.cancel() // interrupt in-flight solves; runJob re-queues them
+			<-done
+		}
+		d.cancel()
+	})
+}
+
+// Kill is the SIGKILL test double: it hard-stops the daemon without
+// letting in-flight jobs persist anything further, so the state
+// directory looks exactly like a process that died mid-run. Tests
+// restart a fresh Daemon on the same directory afterwards.
+func (d *Daemon) Kill() {
+	d.killed.Store(true)
+	d.drainOnce.Do(func() {
+		d.draining.Store(true)
+		d.queue.close()
+		d.cancel()
+		<-d.dispatcherDone
+		d.pool.Close()
+	})
+}

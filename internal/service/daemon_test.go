@@ -1,0 +1,471 @@
+package service
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// inconsistentSpec builds a deterministic, quickly-refutable job: the
+// "faulty" digests are digests of unrelated messages, so no in-model
+// fault explains them and the solver proves Inconsistent. Relaxed
+// (unknown-position) refutations are much slower than known-position
+// ones, so tests lean on kp=true shapes for bulk jobs.
+func inconsistentSpec(mode keccak.Mode, model string, kp bool, salt string) JobSpec {
+	s := JobSpec{
+		Mode:          mode.String(),
+		Model:         model,
+		CorrectDigest: hex.EncodeToString(keccak.Sum(mode, []byte("daemon test "+salt))),
+		FaultyDigests: []string{
+			hex.EncodeToString(keccak.Sum(mode, []byte("bogus one "+salt))),
+			hex.EncodeToString(keccak.Sum(mode, []byte("bogus two "+salt))),
+		},
+	}
+	if kp {
+		s.KnownPosition = true
+		s.Windows = []int{0, 1}
+	}
+	return s
+}
+
+// httpSubmit posts a spec and decodes the expected-status response.
+func httpSubmit(t *testing.T, base string, spec JobSpec) (*Job, int) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, resp.StatusCode
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return &j, resp.StatusCode
+}
+
+// httpJob fetches one job snapshot.
+func httpJob(t *testing.T, base, id string) *Job {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: %d", id, resp.StatusCode)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return &j
+}
+
+// waitDone polls until every listed job is done or failed.
+func waitDone(t *testing.T, base string, ids []string, timeout time.Duration) map[string]*Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	out := make(map[string]*Job)
+	for time.Now().Before(deadline) {
+		finished := 0
+		for _, id := range ids {
+			j := httpJob(t, base, id)
+			out[id] = j
+			if j.State == StateDone || j.State == StateFailed {
+				finished++
+			}
+		}
+		if finished == len(ids) {
+			return out
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("jobs not finished within %v: %+v", timeout, out)
+	return nil
+}
+
+// normalize strips the fields that legitimately differ between two
+// runs of the same spec: wall-clock timing and scheduling history.
+func normalize(j *Job) *Job {
+	c := j.clone()
+	c.Submitted, c.Started, c.Finished = time.Time{}, time.Time{}, time.Time{}
+	c.Attempts = 0
+	if c.Result != nil {
+		c.Result.SolveMillis = 0
+	}
+	return c
+}
+
+// TestDaemonKillRestartReproducible is the crash-safety acceptance
+// test: a daemon is hard-killed mid-queue (the SIGKILL test double
+// suppresses all persists from the moment of death), restarted on the
+// same state directory, and must finish every job — with results
+// byte-identical to an uninterrupted reference daemon run.
+func TestDaemonKillRestartReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	specs := []JobSpec{
+		inconsistentSpec(keccak.SHA3_224, "1-bit", true, "a"),
+		inconsistentSpec(keccak.SHA3_224, "1-bit", true, "b"),
+		inconsistentSpec(keccak.SHA3_512, "1-bit", false, "c"), // slow relaxed refutation
+		inconsistentSpec(keccak.SHA3_224, "1-bit", true, "d"),
+		inconsistentSpec(keccak.SHA3_512, "1-bit", true, "e"),
+		inconsistentSpec(keccak.SHA3_512, "1-bit", true, "f"),
+	}
+	opts := func(dir string) Options {
+		return Options{StateDir: dir, Workers: 1, QueueDepth: 16}
+	}
+	runAll := func(dir string) (map[string]*Job, []string) {
+		d, err := New(opts(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(d)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := "http://" + addr
+		var ids []string
+		for _, s := range specs {
+			j, code := httpSubmit(t, base, s)
+			if code != http.StatusAccepted {
+				t.Fatalf("submit: %d", code)
+			}
+			ids = append(ids, j.ID)
+		}
+		jobs := waitDone(t, base, ids, 5*time.Minute)
+		srv.Close()
+		d.Drain()
+		return jobs, ids
+	}
+
+	// Reference: uninterrupted run.
+	want, ids := runAll(t.TempDir())
+
+	// Interrupted run: same specs, killed once two jobs are done.
+	dir := t.TempDir()
+	d, err := New(opts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	for i, s := range specs {
+		j, code := httpSubmit(t, base, s)
+		if code != http.StatusAccepted || j.ID != ids[i] {
+			t.Fatalf("submit %d: code %d id %s, want %s", i, code, j.ID, ids[i])
+		}
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("never reached two finished jobs")
+		}
+		finished := 0
+		for _, j := range d.Jobs() {
+			if j.State == StateDone {
+				finished++
+			}
+		}
+		if finished >= 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d.Kill()
+	srv.Close()
+
+	// The kill must have landed mid-queue: the state directory still
+	// holds unfinished records.
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := st.LoadJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfinished := 0
+	for _, j := range onDisk {
+		if j.State == StateQueued || j.State == StateRunning {
+			unfinished++
+		}
+	}
+	if unfinished == 0 {
+		t.Fatal("kill landed after all jobs finished; the test lost its race window")
+	}
+	t.Logf("killed with %d unfinished jobs on disk", unfinished)
+
+	// Restart on the same directory: every job must reach done.
+	d2, err := New(opts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(d2)
+	addr2, err := srv2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2 := "http://" + addr2
+	got := waitDone(t, base2, ids, 5*time.Minute)
+
+	for _, id := range ids {
+		g, w := normalize(got[id]), normalize(want[id])
+		gj, _ := json.Marshal(g)
+		wj, _ := json.Marshal(w)
+		if !bytes.Equal(gj, wj) {
+			t.Errorf("job %s diverges after kill+restart:\n  got  %s\n  want %s", id, gj, wj)
+		}
+		if g.State != StateDone || g.Result == nil || g.Result.Status != "inconsistent" {
+			t.Errorf("job %s: state %s result %+v, want done/inconsistent", id, g.State, g.Result)
+		}
+		if !g.Result.Batched {
+			t.Errorf("job %s was not template-batched", id)
+		}
+	}
+
+	// The event tail survives the kill and records the job lifecycle.
+	resp, err := http.Get(base2 + "/v1/jobs/" + ids[0] + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, _ := readAll(resp)
+	if !bytes.Contains(tail, []byte("job.start")) || !bytes.Contains(tail, []byte("job.finish")) {
+		t.Errorf("event tail missing lifecycle events: %q", tail)
+	}
+
+	srv2.Close()
+	d2.Drain()
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// TestDaemonHTTPErrors covers the client-facing failure modes without
+// running any solver work.
+func TestDaemonHTTPErrors(t *testing.T) {
+	d, err := New(Options{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	post := func(body string) int {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Errorf("invalid JSON: %d, want 400", code)
+	}
+	if code := post(`{"mode":"SHA3-9000","fault_model":"byte"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown mode: %d, want 400", code)
+	}
+	spec := inconsistentSpec(keccak.SHA3_224, "byte", true, "x")
+	spec.Windows = []int{0} // wrong arity
+	if _, code := httpSubmit(t, base, spec); code != http.StatusBadRequest {
+		t.Errorf("bad windows: %d, want 400", code)
+	}
+
+	resp, err := http.Get(base + "/v1/jobs/j-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if !health.OK || health.Draining {
+		t.Errorf("healthz = %+v before drain", health)
+	}
+
+	d.Drain()
+	if code := post("{}"); code != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: %d, want 503", code)
+	}
+	srv.Close()
+}
+
+// TestDaemonRateLimit: a 1-token client gets 429 with Retry-After on
+// its second request, while another client is unaffected.
+func TestDaemonRateLimit(t *testing.T) {
+	d, err := New(Options{StateDir: t.TempDir(), Rate: 1e-9, Burst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	post := func(client string) *http.Response {
+		req, _ := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader([]byte("{}")))
+		req.Header.Set("X-Client", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	// First request spends alice's only token (the spec is invalid, but
+	// rate limiting is applied before parsing — a client hammering the
+	// endpoint with garbage is exactly who the limiter is for).
+	if resp := post("alice"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("first alice request: %d, want 400", resp.StatusCode)
+	}
+	resp := post("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second alice request: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if resp := post("bob"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bob rate-limited by alice's bucket: %d", resp.StatusCode)
+	}
+	srv.Close()
+	d.Drain()
+}
+
+// TestDaemonQueueBackpressure: with a tiny queue and one busy worker,
+// a submit burst must see 429s instead of unbounded queueing, and the
+// accepted jobs must still all finish.
+func TestDaemonQueueBackpressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	d, err := New(Options{StateDir: t.TempDir(), Workers: 1, QueueDepth: 2, BatchMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	var accepted []string
+	full := 0
+	for i := 0; i < 10; i++ {
+		j, code := httpSubmit(t, base, inconsistentSpec(keccak.SHA3_224, "1-bit", true, fmt.Sprintf("bp%d", i)))
+		switch code {
+		case http.StatusAccepted:
+			accepted = append(accepted, j.ID)
+		case http.StatusTooManyRequests:
+			full++
+		default:
+			t.Fatalf("submit %d: unexpected status %d", i, code)
+		}
+	}
+	if full == 0 {
+		t.Fatal("10 rapid submits against a depth-2 queue never hit 429")
+	}
+	waitDone(t, base, accepted, 5*time.Minute)
+	srv.Close()
+	d.Drain()
+}
+
+// TestDaemonRecoveryEndToEnd drives a real recovery through the full
+// service stack: a known-position byte campaign against SHA3-512,
+// submitted over HTTP, must come back with the original message —
+// verified independently by rehashing it to the correct digest.
+func TestDaemonRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("solver test skipped under -race (covered natively)")
+	}
+	msg := []byte("service recovery end to end")
+	mode := keccak.SHA3_512
+	correct, injs := fault.Campaign(mode, msg, fault.Byte, 22, 32, 5)
+	spec := JobSpec{
+		Mode:          mode.String(),
+		Model:         "byte",
+		CorrectDigest: hex.EncodeToString(correct),
+		KnownPosition: true,
+		// One-shot solving sees none of the blocking clauses an incremental
+		// session accumulates, so it needs a deeper candidate budget.
+		MaxCandidates: 64,
+	}
+	for _, inj := range injs {
+		spec.FaultyDigests = append(spec.FaultyDigests, hex.EncodeToString(inj.FaultyDigest))
+		spec.Windows = append(spec.Windows, inj.Fault.Window)
+	}
+
+	d, err := New(Options{StateDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	j, code := httpSubmit(t, base, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	jobs := waitDone(t, base, []string{j.ID}, 10*time.Minute)
+	res := jobs[j.ID].Result
+	if jobs[j.ID].State != StateDone || res == nil || res.Status != "recovered" {
+		t.Fatalf("job = %+v, want done/recovered", jobs[j.ID])
+	}
+	gotMsg, err := hex.DecodeString(res.Message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotMsg, msg) {
+		t.Fatalf("recovered message %q, want %q", gotMsg, msg)
+	}
+	if !bytes.Equal(keccak.Sum(mode, gotMsg), correct) {
+		t.Fatal("recovered message does not rehash to the correct digest")
+	}
+	srv.Close()
+	d.Drain()
+}

@@ -1,0 +1,177 @@
+// Package service lifts the one-shot AFA pipeline into a long-running
+// attack daemon: an HTTP/JSON API accepts (correct digest, faulty
+// digest set) jobs, a bounded queue groups them by encoding shape so a
+// batch shares one pre-encoded template (core.Template), the campaign
+// worker pool solves them, and every state transition is persisted
+// through the atomic-rename store so a killed daemon resumes its queue
+// on restart. cmd/afad is the binary front-end.
+package service
+
+import (
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"sha3afa/internal/fault"
+	"sha3afa/internal/keccak"
+)
+
+// MaxObservations bounds the faulty digests one job may carry: it caps
+// template growth (capacity never shrinks) and keeps a single request
+// from monopolizing a worker for hours.
+const MaxObservations = 64
+
+// JobSpec is the client-supplied description of one attack job — the
+// wire format of POST /v1/jobs.
+type JobSpec struct {
+	Mode          string   `json:"mode"`           // e.g. "SHA3-224"
+	Model         string   `json:"fault_model"`    // e.g. "byte"
+	CorrectDigest string   `json:"correct_digest"` // hex, full digest length
+	FaultyDigests []string `json:"faulty_digests"` // hex, one per observation
+	// KnownPosition enables the precise fault-position ablation; Windows
+	// then carries one true window index per faulty digest.
+	KnownPosition bool  `json:"known_position,omitempty"`
+	Windows       []int `json:"windows,omitempty"`
+	// Solver budgets (0 = server defaults). MaxConflicts makes a job
+	// deterministic wall-clock-independent; TimeoutSec bounds it in real
+	// time.
+	MaxCandidates int     `json:"max_candidates,omitempty"`
+	MaxConflicts  int64   `json:"max_conflicts,omitempty"`
+	TimeoutSec    float64 `json:"timeout_sec,omitempty"`
+}
+
+// parsedSpec is the validated, decoded form of a JobSpec.
+type parsedSpec struct {
+	mode    keccak.Mode
+	model   fault.Model
+	correct []byte
+	faulty  [][]byte
+	windows []int
+}
+
+// parse validates the spec and decodes every field. All errors are
+// client errors (HTTP 400).
+func (s JobSpec) parse() (parsedSpec, error) {
+	var p parsedSpec
+	mode, err := keccak.ParseMode(s.Mode)
+	if err != nil {
+		return p, err
+	}
+	model, err := fault.Parse(s.Model)
+	if err != nil {
+		return p, err
+	}
+	p.mode, p.model = mode, model
+	want := mode.DigestBits() / 8
+	p.correct, err = decodeDigest(s.CorrectDigest, want, "correct_digest")
+	if err != nil {
+		return p, err
+	}
+	if len(s.FaultyDigests) == 0 {
+		return p, fmt.Errorf("service: no faulty_digests")
+	}
+	if len(s.FaultyDigests) > MaxObservations {
+		return p, fmt.Errorf("service: %d faulty_digests exceeds the limit of %d", len(s.FaultyDigests), MaxObservations)
+	}
+	p.faulty = make([][]byte, len(s.FaultyDigests))
+	for i, h := range s.FaultyDigests {
+		p.faulty[i], err = decodeDigest(h, want, fmt.Sprintf("faulty_digests[%d]", i))
+		if err != nil {
+			return p, err
+		}
+	}
+	if s.KnownPosition {
+		if len(s.Windows) != len(s.FaultyDigests) {
+			return p, fmt.Errorf("service: known_position needs %d windows, got %d", len(s.FaultyDigests), len(s.Windows))
+		}
+		for i, w := range s.Windows {
+			if w < 0 || w >= model.Windows() {
+				return p, fmt.Errorf("service: windows[%d] = %d out of range for %s", i, w, model)
+			}
+		}
+		p.windows = s.Windows
+	} else if len(s.Windows) != 0 {
+		return p, fmt.Errorf("service: windows supplied without known_position")
+	}
+	if s.MaxConflicts < 0 || s.MaxCandidates < 0 || s.TimeoutSec < 0 {
+		return p, fmt.Errorf("service: negative budget")
+	}
+	return p, nil
+}
+
+func decodeDigest(h string, want int, field string) ([]byte, error) {
+	b, err := hex.DecodeString(h)
+	if err != nil {
+		return nil, fmt.Errorf("service: %s: %v", field, err)
+	}
+	if len(b) != want {
+		return nil, fmt.Errorf("service: %s: %d bytes, want %d", field, len(b), want)
+	}
+	return b, nil
+}
+
+// batchKey groups jobs that can share one encoded template: the CNF
+// structure depends only on (mode, fault model, position knowledge) —
+// digests are unit clauses.
+func (s JobSpec) batchKey() string {
+	kp := ""
+	if s.KnownPosition {
+		kp = "+kp"
+	}
+	return s.Mode + "|" + s.Model + kp
+}
+
+// Job states. A job is queued on submit, running while a worker owns
+// it, and ends done or failed. A daemon killed mid-run leaves the
+// record at queued or running; restart re-enqueues both.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job is the persisted unit of work — one file in the store per job,
+// rewritten atomically on every state transition.
+type Job struct {
+	ID        string    `json:"id"`
+	Client    string    `json:"client,omitempty"`
+	Spec      JobSpec   `json:"spec"`
+	State     string    `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+	// Attempts counts how often a worker picked the job up; >1 means the
+	// daemon was killed or drained mid-run and the job was re-queued.
+	Attempts int        `json:"attempts,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// JobResult is the outcome of a finished job. SolveMillis is
+// wall-clock and therefore excluded from reproducibility comparisons;
+// everything else is deterministic for a fixed spec (and, for
+// budget-capped outcomes, a fixed encoding path).
+type JobResult struct {
+	Status       string  `json:"status"`              // recovered | ambiguous | inconsistent | budget-exceeded
+	ChiInput     string  `json:"chi_input,omitempty"` // hex, 200 bytes: recovered χ input of round 22
+	Message      string  `json:"message,omitempty"`   // hex: recovered message block
+	Candidates   int     `json:"candidates"`
+	Vars         int     `json:"vars"`
+	Clauses      int     `json:"clauses"`
+	Conflicts    int64   `json:"conflicts"`
+	Propagations int64   `json:"propagations"`
+	SolveMillis  float64 `json:"solve_ms"`
+	Batched      bool    `json:"batched"` // instantiated from a shared template
+}
+
+// clone returns a deep-enough copy for handing to HTTP handlers:
+// Result is copied, Spec shares its (immutable after submit) slices.
+func (j *Job) clone() *Job {
+	c := *j
+	if j.Result != nil {
+		r := *j.Result
+		c.Result = &r
+	}
+	return &c
+}

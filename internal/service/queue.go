@@ -1,0 +1,106 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// Errors the queue reports to the HTTP layer. Full maps to 429
+// (backpressure: retry later), closed to 503 (the daemon is draining).
+var (
+	ErrQueueFull   = errors.New("service: queue full")
+	ErrQueueClosed = errors.New("service: queue closed")
+)
+
+// queue is the bounded, batch-grouping job queue: jobs wait under
+// their batchKey, and popBatch hands a worker up to maxBatch jobs of
+// one key at a time — the unit that shares a single encoded template.
+// Keys are served oldest-first and re-queued at the back after a pop,
+// so one hot shape cannot starve the others.
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	max   int
+	byKey map[string][]*Job
+	order []string // keys with pending jobs, arrival order
+	n     int
+	done  bool
+}
+
+func newQueue(max int) *queue {
+	q := &queue{max: max, byKey: make(map[string][]*Job)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues one job, failing fast when the queue is at depth
+// (backpressure) or closed (drain).
+func (q *queue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done {
+		return ErrQueueClosed
+	}
+	if q.n >= q.max {
+		return ErrQueueFull
+	}
+	key := j.Spec.batchKey()
+	if len(q.byKey[key]) == 0 {
+		q.order = append(q.order, key)
+	}
+	q.byKey[key] = append(q.byKey[key], j)
+	q.n++
+	q.cond.Signal()
+	return nil
+}
+
+// popBatch blocks until jobs are available and returns up to maxBatch
+// jobs sharing one batchKey, or ok=false once the queue is closed.
+// Close wins over remaining content: a draining daemon must not start
+// new work, so whatever is still queued stays queued (and persisted)
+// for the next start.
+func (q *queue) popBatch(maxBatch int) ([]*Job, bool) {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.done {
+		q.cond.Wait()
+	}
+	if q.done {
+		return nil, false
+	}
+	key := q.order[0]
+	pending := q.byKey[key]
+	take := len(pending)
+	if take > maxBatch {
+		take = maxBatch
+	}
+	batch := pending[:take]
+	rest := pending[take:]
+	q.order = q.order[1:]
+	if len(rest) > 0 {
+		q.byKey[key] = rest
+		q.order = append(q.order, key) // back of the line: no starvation
+	} else {
+		delete(q.byKey, key)
+	}
+	q.n -= take
+	return batch, true
+}
+
+// close wakes every waiter and makes all further operations fail.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.done = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// len reports the number of queued jobs.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}

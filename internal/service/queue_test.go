@@ -1,0 +1,107 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func jobWithKey(id, mode, model string, kp bool) *Job {
+	return &Job{ID: id, Spec: JobSpec{Mode: mode, Model: model, KnownPosition: kp}}
+}
+
+// TestQueueBatchGrouping: jobs sharing a batch key come out together,
+// in one popBatch, regardless of submit interleaving.
+func TestQueueBatchGrouping(t *testing.T) {
+	q := newQueue(16)
+	for _, j := range []*Job{
+		jobWithKey("j-1", "SHA3-224", "byte", false),
+		jobWithKey("j-2", "SHA3-256", "byte", false),
+		jobWithKey("j-3", "SHA3-224", "byte", false),
+		jobWithKey("j-4", "SHA3-224", "byte", true), // kp is its own key
+		jobWithKey("j-5", "SHA3-224", "byte", false),
+	} {
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, ok := q.popBatch(8)
+	if !ok || len(batch) != 3 {
+		t.Fatalf("first batch = %d jobs, want the 3 SHA3-224 relaxed jobs", len(batch))
+	}
+	for _, j := range batch {
+		if j.Spec.batchKey() != "SHA3-224|byte" {
+			t.Fatalf("mixed key in batch: %s", j.Spec.batchKey())
+		}
+	}
+	if batch, _ = q.popBatch(8); len(batch) != 1 || batch[0].ID != "j-2" {
+		t.Fatalf("second batch = %v, want j-2 alone", batch)
+	}
+	if batch, _ = q.popBatch(8); len(batch) != 1 || batch[0].ID != "j-4" {
+		t.Fatalf("third batch = %v, want j-4 alone", batch)
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty: %d", q.len())
+	}
+}
+
+// TestQueueFairness: a key with a deep backlog goes to the back of the
+// line after each pop, so other keys are served in between.
+func TestQueueFairness(t *testing.T) {
+	q := newQueue(32)
+	for i := 0; i < 6; i++ {
+		q.push(jobWithKey("a", "SHA3-224", "byte", false))
+	}
+	q.push(jobWithKey("b", "SHA3-256", "byte", false))
+
+	first, _ := q.popBatch(2)
+	second, _ := q.popBatch(2)
+	if len(first) != 2 || first[0].ID != "a" {
+		t.Fatalf("first pop = %v, want 2 of key a", first)
+	}
+	if len(second) != 1 || second[0].ID != "b" {
+		t.Fatalf("second pop = %v, want b: deep key a must not starve b", second)
+	}
+}
+
+// TestQueueFullAndClosed: depth bound gives ErrQueueFull, close gives
+// ErrQueueClosed and wakes blocked poppers with ok=false.
+func TestQueueFullAndClosed(t *testing.T) {
+	q := newQueue(2)
+	q.push(jobWithKey("j-1", "SHA3-224", "byte", false))
+	q.push(jobWithKey("j-2", "SHA3-224", "byte", false))
+	if err := q.push(jobWithKey("j-3", "SHA3-224", "byte", false)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push over depth = %v, want ErrQueueFull", err)
+	}
+
+	q.popBatch(8)
+	q.close()
+	if err := q.push(jobWithKey("j-4", "SHA3-224", "byte", false)); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push after close = %v, want ErrQueueClosed", err)
+	}
+	// Close wins over remaining content: queued jobs stay queued.
+	if batch, ok := q.popBatch(8); ok {
+		t.Fatalf("popBatch after close = %v, want ok=false", batch)
+	}
+}
+
+// TestQueueCloseWakesWaiter: a popper blocked on an empty queue returns
+// promptly when the queue closes (the drain path).
+func TestQueueCloseWakesWaiter(t *testing.T) {
+	q := newQueue(2)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.popBatch(1)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("popBatch returned ok=true from a closed empty queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("popBatch still blocked after close")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled lets solver-heavy tests skip themselves under -race: the
+// instrumented solver is an order of magnitude slower, and the race
+// coverage they would add is already provided by the cheaper e2e test.
+const raceEnabled = true

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client (X-Client
+// header, falling back to the remote host) gets burst tokens refilled
+// at rate per second. A zero rate disables limiting. Buckets are tiny
+// and touched only on submit, so a plain map under one mutex is
+// plenty; idle buckets are dropped once they are full again (their
+// state is then indistinguishable from a fresh one).
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// allow consumes one token from the client's bucket, reporting whether
+// one was available.
+func (rl *rateLimiter) allow(client string) bool {
+	if rl.rate <= 0 {
+		return true
+	}
+	now := time.Now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.buckets[client]
+	if !ok {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * rl.rate
+	b.last = now
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	if len(rl.buckets) > 1024 {
+		rl.prune(client)
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// prune drops full buckets (indistinguishable from fresh ones) except
+// the one in use, bounding the map against client-name churn.
+func (rl *rateLimiter) prune(keep string) {
+	for c, b := range rl.buckets {
+		if c == keep {
+			continue
+		}
+		t := b.tokens + time.Since(b.last).Seconds()*rl.rate
+		if t >= rl.burst {
+			delete(rl.buckets, c)
+		}
+	}
+}

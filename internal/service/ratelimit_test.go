@@ -1,0 +1,52 @@
+package service
+
+import "testing"
+
+// TestRateLimitBurstAndIsolation: each client gets its own bucket of
+// burst tokens; exhausting one client's bucket does not touch another.
+func TestRateLimitBurstAndIsolation(t *testing.T) {
+	// Refill rate so slow it contributes nothing within the test.
+	rl := newRateLimiter(1e-9, 3)
+	for i := 0; i < 3; i++ {
+		if !rl.allow("alice") {
+			t.Fatalf("alice submit %d denied within burst", i)
+		}
+	}
+	if rl.allow("alice") {
+		t.Fatal("alice allowed past burst")
+	}
+	if !rl.allow("bob") {
+		t.Fatal("bob denied by alice's exhausted bucket")
+	}
+}
+
+// TestRateLimitDisabled: zero rate means no limiting at all.
+func TestRateLimitDisabled(t *testing.T) {
+	rl := newRateLimiter(0, 0)
+	for i := 0; i < 100; i++ {
+		if !rl.allow("anyone") {
+			t.Fatal("zero-rate limiter denied a submit")
+		}
+	}
+}
+
+// TestRateLimitPrune: bucket-map growth from client-name churn is
+// bounded — refilled (full) buckets are dropped once the map passes
+// its threshold. A huge rate makes every bucket full again by its next
+// inspection, so the churn loop keeps the map near the threshold.
+func TestRateLimitPrune(t *testing.T) {
+	rl := newRateLimiter(1e9, 1)
+	for i := 0; i < 5000; i++ {
+		rl.allow(fmtClient(i))
+	}
+	rl.mu.Lock()
+	n := len(rl.buckets)
+	rl.mu.Unlock()
+	if n > 1100 {
+		t.Fatalf("bucket map grew to %d entries, prune is not bounding it", n)
+	}
+}
+
+func fmtClient(i int) string {
+	return string([]byte{'c', byte('a' + i%26), byte('a' + (i/26)%26), byte('a' + i/676)})
+}

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Server is the HTTP front-end of a Daemon. Routes:
+//
+//	POST /v1/jobs             submit a JobSpec, 202 + job snapshot
+//	GET  /v1/jobs             list all jobs (submission order)
+//	GET  /v1/jobs/{id}        one job snapshot (poll for progress)
+//	GET  /v1/jobs/{id}/events the job's JSONL event tail
+//	GET  /healthz             liveness + drain state
+//	     /debug/...           obs metrics/trace/pprof (when a Recorder is set)
+//
+// Status mapping: 400 invalid spec, 429 rate-limited or queue full
+// (with Retry-After), 503 draining, 404 unknown job.
+type Server struct {
+	d    *Daemon
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer wires the daemon's routes onto a fresh mux.
+func NewServer(d *Daemon) *Server {
+	s := &Server{d: d, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /healthz", s.health)
+	if d.opts.Recorder != nil {
+		s.mux.Handle("/debug/", d.opts.Recorder.DebugMux())
+	}
+	return s
+}
+
+// Handler exposes the route mux (for httptest servers).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.http.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener; callers drain the daemon separately.
+func (s *Server) Close() error {
+	if s.http != nil {
+		return s.http.Close()
+	}
+	return nil
+}
+
+// clientOf identifies the submitter for rate limiting: the X-Client
+// header when present, else the remote host.
+func clientOf(r *http.Request) string {
+	if c := strings.TrimSpace(r.Header.Get("X-Client")); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	client := clientOf(r)
+	if s.d.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "daemon is draining")
+		return
+	}
+	if !s.d.Allow(client) {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")
+		return
+	}
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	job, err := s.d.Submit(spec, client)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job)
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusTooManyRequests, err.Error())
+	default:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.d.Jobs())
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	j := s.d.Job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.d.Job(id) == nil {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	data, err := s.d.Events(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"draining": s.d.Draining(),
+		"queued":   s.d.queue.len(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

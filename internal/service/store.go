@@ -1,0 +1,115 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sha3afa/internal/campaign"
+)
+
+// Store persists jobs and their event tails under one state directory:
+//
+//	<dir>/jobs/<id>.json     job record, atomic-rename on every transition
+//	<dir>/events/<id>.jsonl  append-only obs event tail of the job's runs
+//
+// The job files reuse the campaign checkpoint discipline
+// (campaign.WriteJSONAtomic): a crash mid-write never leaves a torn
+// record, so the restart path can trust every readable file.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) the state directory.
+func NewStore(dir string) (*Store, error) {
+	for _, sub := range []string{"jobs", "events"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (s *Store) jobPath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+".json")
+}
+
+// EventsPath returns the job's JSONL event file path.
+func (s *Store) EventsPath(id string) string {
+	return filepath.Join(s.dir, "events", id+".jsonl")
+}
+
+// SaveJob persists one job record atomically.
+func (s *Store) SaveJob(j *Job) error {
+	return campaign.WriteJSONAtomic(s.jobPath(j.ID), j)
+}
+
+// DeleteJob removes a job record (submit rollback when the queue
+// rejects the job after the record was already written).
+func (s *Store) DeleteJob(id string) error {
+	return os.Remove(s.jobPath(id))
+}
+
+// LoadJobs reads every job record, sorted by ID (submission order —
+// IDs are zero-padded sequence numbers). Unreadable or torn files
+// cannot exist by construction (atomic rename), but foreign files are
+// skipped defensively rather than failing the whole restart.
+func (s *Store) LoadJobs() ([]*Job, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*Job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, "jobs", e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			continue // foreign file; jobs written by SaveJob always parse
+		}
+		if j.ID == "" || j.ID+".json" != e.Name() {
+			continue
+		}
+		jobs = append(jobs, &j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	return jobs, nil
+}
+
+// OpenEvents opens the job's event tail for appending. Re-runs of a
+// re-queued job append to the same tail, so the file records the full
+// history across daemon restarts.
+func (s *Store) OpenEvents(id string) (*os.File, error) {
+	return os.OpenFile(s.EventsPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadEvents returns the raw JSONL event tail of a job (empty when the
+// job has not started yet).
+func (s *Store) ReadEvents(id string) ([]byte, error) {
+	data, err := os.ReadFile(s.EventsPath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return data, err
+}
+
+// nextSeq scans existing IDs ("j-000042") and returns the next
+// sequence number, so restarted daemons never reuse an ID.
+func nextSeq(jobs []*Job) int64 {
+	var max int64
+	for _, j := range jobs {
+		var n int64
+		if _, err := fmt.Sscanf(j.ID, "j-%d", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStoreRoundTrip: jobs come back from LoadJobs exactly as saved,
+// sorted by ID, with foreign files in the directory skipped.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []*Job{
+		{ID: "j-000002", State: StateDone, Submitted: time.Unix(2, 0).UTC(),
+			Result: &JobResult{Status: "inconsistent", Vars: 10, Clauses: 20}},
+		{ID: "j-000001", State: StateQueued, Submitted: time.Unix(1, 0).UTC(),
+			Spec: JobSpec{Mode: "SHA3-224", Model: "byte"}},
+	}
+	for _, j := range jobs {
+		if err := st.SaveJob(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Foreign droppings must not break or pollute the restart path.
+	os.WriteFile(filepath.Join(dir, "jobs", "notes.json"), []byte("{}"), 0o644)
+	os.WriteFile(filepath.Join(dir, "jobs", "junk.txt"), []byte("x"), 0o644)
+
+	got, err := st.LoadJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "j-000001" || got[1].ID != "j-000002" {
+		t.Fatalf("LoadJobs = %d jobs %v, want j-000001 then j-000002", len(got), got)
+	}
+	if got[0].Spec.Mode != "SHA3-224" || got[1].Result == nil || got[1].Result.Clauses != 20 {
+		t.Fatal("loaded jobs lost fields")
+	}
+	if n := nextSeq(got); n != 3 {
+		t.Fatalf("nextSeq = %d, want 3", n)
+	}
+}
+
+// TestStoreEvents: the event tail appends across opens and reads back
+// verbatim; a job that never started has an empty tail, not an error.
+func TestStoreEvents(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := st.ReadEvents("j-000001"); err != nil || data != nil {
+		t.Fatalf("ReadEvents before start = %q, %v; want empty, nil", data, err)
+	}
+	for _, line := range []string{"{\"ev\":\"a\"}\n", "{\"ev\":\"b\"}\n"} {
+		f, err := st.OpenEvents("j-000001")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteString(line)
+		f.Close()
+	}
+	data, err := st.ReadEvents("j-000001")
+	if err != nil || string(data) != "{\"ev\":\"a\"}\n{\"ev\":\"b\"}\n" {
+		t.Fatalf("ReadEvents = %q, %v", data, err)
+	}
+}
