@@ -15,8 +15,18 @@
 //	GET  /v1/jobs             list jobs
 //	GET  /v1/jobs/{id}        poll one job
 //	GET  /v1/jobs/{id}/events JSONL event tail
+//	GET  /v1/quarantine       poison jobs (exhausted retries / repeated panics)
 //	GET  /healthz             liveness + drain state
 //	     /debug/...           metrics/trace/pprof (with -debug)
+//
+// Execution is fault-tolerant: every running job is covered by a lease
+// on the state directory (-lease-ttl, heartbeated at a third of that),
+// so a killed or hung daemon never strands work — its own next life,
+// or a second afad sharing the state directory, reaps the stale lease
+// and re-runs the job. Failed attempts retry with jittered exponential
+// backoff (-retry-base/-retry-max) up to -max-attempts, after which
+// the job is quarantined with its last error and partial checkpoint.
+// Old terminal records can be garbage-collected with -gc-max-age.
 //
 // SIGINT/SIGTERM starts a graceful drain: submits get 503, queued jobs
 // stay persisted for the next start, in-flight jobs get -drain-timeout
@@ -59,9 +69,17 @@ func run() int {
 	rate := flag.Float64("rate", 0, "submits/second per client (0 = unlimited)")
 	burst := flag.Float64("burst", 8, "per-client token-bucket burst")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight jobs on shutdown")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "heartbeat staleness after which any daemon may steal a job")
+	maxAttempts := flag.Int("max-attempts", 3, "default attempt budget before a failing job is quarantined")
+	retryBase := flag.Duration("retry-base", 500*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+	retryMax := flag.Duration("retry-max", 30*time.Second, "retry backoff cap")
+	gcMaxAge := flag.Duration("gc-max-age", 0, "prune terminal jobs older than this (0 = keep forever)")
+	shedWatermark := flag.Int("shed-watermark", 0, "queue depth above which priority<=0 submits are shed (0 = 3/4 of queue-depth)")
 	noBatch := flag.Bool("no-batching", false, "encode every job from scratch (template batching off)")
 	traceFile := flag.String("trace", "", "stream daemon observability events to this JSONL file")
 	debug := flag.Bool("debug", false, "serve /debug/metrics, /debug/trace and /debug/pprof")
+	chaos := flag.Float64("chaos", 0, "DEV ONLY: inject faults (panics, hangs, dropped heartbeats) into this fraction of first attempts")
+	chaosSeed := flag.Int64("chaos-seed", 1, "with -chaos: deterministic injection seed")
 
 	genjob := flag.Bool("genjob", false, "print a simulated JobSpec JSON and exit (no daemon)")
 	modeName := flag.String("mode", "SHA3-224", "with -genjob: SHA-3 mode")
@@ -105,8 +123,24 @@ func run() int {
 		Rate:            *rate,
 		Burst:           *burst,
 		DrainTimeout:    *drainTimeout,
+		LeaseTTL:        *leaseTTL,
+		MaxAttempts:     *maxAttempts,
+		RetryBase:       *retryBase,
+		RetryMax:        *retryMax,
+		GCMaxAge:        *gcMaxAge,
+		ShedWatermark:   *shedWatermark,
 		DisableBatching: *noBatch,
 		Recorder:        rec,
+	}
+	if *chaos > 0 {
+		fmt.Fprintf(os.Stderr, "afad: CHAOS MODE: injecting faults into %.0f%% of first attempts (seed %d)\n", *chaos*100, *chaosSeed)
+		opts.Chaos = &service.Chaos{
+			Seed:         *chaosSeed,
+			PanicFrac:    *chaos,
+			SlowFrac:     *chaos,
+			SlowBy:       2 * *leaseTTL, // long enough to look hung and lose the lease
+			DropBeatFrac: *chaos,
+		}
 	}
 
 	d, err := service.New(opts)

@@ -24,7 +24,11 @@
 // -service FILE switches to the daemon throughput benchmark: a 32-job
 // burst through the full HTTP service stack (internal/service), run
 // with template batching on and off, written as BENCH_service.json
-// (jobs/sec plus p50/p95 submit-to-done latency per variant).
+// (jobs/sec plus p50/p95 submit-to-done latency per variant). Adding
+// -service-baseline BENCH_service.json gates the run: batched jobs/s
+// more than -max-regress percent below the committed baseline exits
+// non-zero — the tripwire that keeps the daemon's fault-tolerance
+// bookkeeping off the submit-to-done hot path.
 package main
 
 import (
@@ -71,13 +75,15 @@ func main() {
 	obsOut := flag.String("obs", "", "write a recorder-on vs recorder-off overhead comparison to this JSON path and exit")
 	maxOverhead := flag.Float64("max-overhead", 5, "with -obs: exit non-zero when recorder overhead exceeds this percentage")
 	serviceOut := flag.String("service", "", "write a daemon throughput benchmark (32-job burst, batched vs unbatched) to this JSON path and exit")
+	serviceBaseline := flag.String("service-baseline", "", "with -service: fail when batched jobs/s regresses more than -max-regress vs this committed BENCH_service.json")
+	maxRegress := flag.Float64("max-regress", 5, "with -service-baseline: allowed throughput regression percentage")
 	flag.Parse()
 
 	if *obsOut != "" {
 		os.Exit(runObsComparison(*obsOut, *short, *maxOverhead))
 	}
 	if *serviceOut != "" {
-		os.Exit(runServiceBench(*serviceOut))
+		os.Exit(runServiceBench(*serviceOut, *serviceBaseline, *maxRegress))
 	}
 
 	var results []benchResult

@@ -132,8 +132,8 @@ func runBurst(specs []service.JobSpec, disableBatching bool) (serviceStats, erro
 			case service.StateDone:
 				finished++
 				latencies = append(latencies, float64(j.Finished.Sub(j.Submitted))/float64(time.Millisecond))
-			case service.StateFailed:
-				return st, fmt.Errorf("job %s failed: %s", id, j.Error)
+			case service.StateFailed, service.StateQuarantined:
+				return st, fmt.Errorf("job %s %s: %s", id, j.State, j.Error)
 			}
 		}
 		if finished == len(ids) {
@@ -153,8 +153,11 @@ func runBurst(specs []service.JobSpec, disableBatching bool) (serviceStats, erro
 }
 
 // runServiceBench measures the 32-job burst with batching on and off
-// and writes BENCH_service.json.
-func runServiceBench(out string) int {
+// and writes BENCH_service.json. With a baseline file, the batched
+// throughput is gated: a regression beyond maxRegress percent fails
+// the run — the CI tripwire that the fault-tolerance machinery (leases,
+// heartbeats, retry bookkeeping) stays off the hot path.
+func runServiceBench(out, baseline string, maxRegress float64) int {
 	specs := burstSpecs(32)
 	fmt.Fprintln(os.Stderr, "service burst: 32 jobs, batching off (per-job encode) ...")
 	unbatched, err := runBurst(specs, true)
@@ -196,5 +199,38 @@ func runServiceBench(out string) int {
 	}
 	fmt.Printf("wrote %s: batched %.2f jobs/s vs unbatched %.2f jobs/s (%.1f%% faster)\n",
 		out, file.Batched.JobsPerSec, file.Unbatched.JobsPerSec, file.SpeedupPct)
+	if baseline != "" {
+		return gateServiceBench(baseline, file.Batched.JobsPerSec, maxRegress)
+	}
+	return 0
+}
+
+// gateServiceBench compares the new batched throughput against the
+// committed baseline file and fails when it regressed beyond the
+// budget. Throughput *gains* only update the committed file when
+// someone reruns the bench and commits it — the gate is one-sided.
+func gateServiceBench(baseline string, got float64, maxRegress float64) int {
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baseline:", err)
+		return 1
+	}
+	var base serviceFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "baseline:", err)
+		return 1
+	}
+	want := base.Batched.JobsPerSec
+	if want <= 0 {
+		fmt.Fprintf(os.Stderr, "baseline %s has no batched jobs/s\n", baseline)
+		return 1
+	}
+	delta := 100 * (got - want) / want
+	fmt.Printf("service bench gate: %.2f jobs/s vs baseline %.2f (%+.1f%%, budget -%.0f%%)\n",
+		got, want, delta, maxRegress)
+	if delta < -maxRegress {
+		fmt.Fprintf(os.Stderr, "service throughput regressed %.1f%% (budget %.0f%%)\n", -delta, maxRegress)
+		return 1
+	}
 	return 0
 }

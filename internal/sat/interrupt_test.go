@@ -96,6 +96,30 @@ func TestSolveContextCancellation(t *testing.T) {
 	}
 }
 
+// TestSolveContextExpiredDeadline: a context that is already past its
+// deadline returns Unknown immediately without doing any solving work
+// — the service layer's per-attempt deadline relies on this so a blown
+// deadline fails the attempt promptly instead of starting a solve that
+// will only be interrupted moments later.
+func TestSolveContextExpiredDeadline(t *testing.T) {
+	s := FromFormula(pigeonhole(9), Options{})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	if st := s.SolveContext(ctx); st != Unknown {
+		t.Fatalf("expired-deadline SolveContext returned %v", st)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("expired-deadline SolveContext took %v, want immediate return", elapsed)
+	}
+	if got := s.Stats().Conflicts; got != 0 {
+		t.Fatalf("expired-deadline solve did %d conflicts of work, want 0", got)
+	}
+	if s.Interrupted() {
+		t.Fatal("stale interrupt left behind by expired-deadline solve")
+	}
+}
+
 func TestImportClauseForcesLiteral(t *testing.T) {
 	s := New()
 	a, b := s.NewVar(), s.NewVar()

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Chaos kinds, keyed into the per-job selector hash.
+const (
+	chaosPanic    = "panic"
+	chaosSlow     = "slow"
+	chaosDropBeat = "dropbeat"
+)
+
+// Chaos is the fault-injection config for the chaos harness (and the
+// cmd/afad -chaos dev flag). Injection is deterministic: whether a job
+// is hit by a given kind depends only on (Seed, kind, job ID), so a
+// chaos run is reproducible for a fixed seed and the reference run
+// (no Chaos attached) is the ground truth it must converge to.
+//
+// All kinds fire only on attempts <= MaxAttempt (default 1): chaos
+// wounds a job's early attempts, the retry machinery must heal it. A
+// panic on every attempt would be a poison job — that path is covered
+// by dedicated quarantine tests, not the convergence harness.
+type Chaos struct {
+	Seed int64
+	// PanicFrac is the fraction of jobs whose injected attempt panics
+	// mid-solve (exercises panic recovery + retry accounting).
+	PanicFrac float64
+	// SlowFrac / SlowBy: the injected attempt sleeps SlowBy before
+	// solving, deliberately ignoring cancellation — a hung worker. With
+	// SlowBy > lease TTL and dropped heartbeats the reaper must steal
+	// the job and the woken worker must discard its result (lease lost).
+	SlowFrac float64
+	SlowBy   time.Duration
+	// DropBeatFrac is the fraction of jobs whose injected attempt never
+	// heartbeats, so its lease goes stale while the job still runs.
+	DropBeatFrac float64
+	// MaxAttempt bounds which attempts are injected (default 1).
+	MaxAttempt int
+}
+
+// hit reports whether this (kind, job, attempt) is injected.
+func (c *Chaos) hit(kind, jobID string, attempt int) bool {
+	if c == nil {
+		return false
+	}
+	ma := c.MaxAttempt
+	if ma < 1 {
+		ma = 1
+	}
+	if attempt > ma {
+		return false
+	}
+	var frac float64
+	switch kind {
+	case chaosPanic:
+		frac = c.PanicFrac
+	case chaosSlow:
+		frac = c.SlowFrac
+	case chaosDropBeat:
+		frac = c.DropBeatFrac
+	}
+	if frac <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	var seed [8]byte
+	for i := range seed {
+		seed[i] = byte(c.Seed >> (8 * i))
+	}
+	h.Write(seed[:])
+	h.Write([]byte(kind))
+	h.Write([]byte(jobID))
+	return float64(h.Sum64()%1_000_000)/1_000_000 < frac
+}

@@ -1,0 +1,343 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sha3afa/internal/keccak"
+)
+
+// chaosOpts is the aggressive-timing daemon config the chaos tests
+// share: leases expire fast, retries release fast, and the janitor
+// runs hot, so every recovery path fires within a sub-second window.
+func chaosOpts(dir string, workers int, c *Chaos) Options {
+	return Options{
+		StateDir:       dir,
+		Workers:        workers,
+		QueueDepth:     64,
+		LeaseTTL:       250 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+		ReapEvery:      100 * time.Millisecond,
+		RetryBase:      20 * time.Millisecond,
+		RetryMax:       100 * time.Millisecond,
+		Chaos:          c,
+	}
+}
+
+// readStoreResults loads every done job from the state directory and
+// returns its normalized record bytes — the monotonicity ledger: once
+// a job is done on disk, every later epoch must show the identical
+// bytes, or a job was double-completed or its result rewritten.
+func readStoreResults(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := st.LoadJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte)
+	for _, j := range jobs {
+		if j.State == StateDone {
+			b, _ := json.Marshal(normalize(j))
+			out[j.ID] = b
+		}
+	}
+	return out
+}
+
+// TestChaosConvergence is the chaos acceptance test: a job load is
+// driven through a sequence of daemon lives, each with deterministic
+// fault injection (panics, hung workers, dropped heartbeats) and a
+// hard mid-flight kill, until every job completes. The invariants:
+//
+//  1. no job is lost — every submitted job eventually reaches done;
+//  2. no job is double-completed — once a job's result is on disk it
+//     never changes in a later epoch (the gen/lease fencing at work);
+//  3. the final results are byte-identical (modulo timing/scheduling
+//     fields) to an undisturbed reference run of the same specs;
+//  4. no job is quarantined — all injected faults are transient
+//     (attempt 1 only), so retry/backoff must absorb them all.
+//
+// Runs under -race in -short mode with a reduced job count.
+func TestChaosConvergence(t *testing.T) {
+	nJobs, maxEpochs := 8, 24
+	if testing.Short() {
+		nJobs = 4
+	}
+	var specs []JobSpec
+	for i := 0; i < nJobs; i++ {
+		specs = append(specs, inconsistentSpec(keccak.SHA3_224, "1-bit", true, fmt.Sprintf("chaos%d", i)))
+	}
+
+	// Reference: one quiet life, no chaos, run to completion.
+	refDir := t.TempDir()
+	ref, err := New(chaosOpts(refDir, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, s := range specs {
+		j, err := ref.Submit(s, "chaos-test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	waitTerminal(t, ref, ids, 2*time.Minute)
+	ref.Drain()
+	want := readStoreResults(t, refDir)
+	if len(want) != nJobs {
+		t.Fatalf("reference run finished %d/%d jobs", len(want), nJobs)
+	}
+
+	// Chaos: epochs of (start, disturb, kill) on one state directory
+	// until the store has every job done. Seeds vary per epoch so the
+	// injection pattern shifts, but within an epoch it is deterministic.
+	dir := t.TempDir()
+	seen := make(map[string][]byte)
+	submitted := false
+	converged := false
+	prevDone := 0
+	for epoch := 0; epoch < maxEpochs && !converged; epoch++ {
+		c := &Chaos{
+			Seed:         int64(epoch + 1),
+			PanicFrac:    0.3,
+			SlowFrac:     0.3,
+			SlowBy:       200 * time.Millisecond,
+			DropBeatFrac: 0.3,
+			MaxAttempt:   1, // transient: retries always run clean
+		}
+		d, err := New(chaosOpts(dir, 2, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !submitted {
+			for i, s := range specs {
+				j, err := d.Submit(s, "chaos-test")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if j.ID != ids[i] {
+					t.Fatalf("chaos run assigned id %s, reference %s", j.ID, ids[i])
+				}
+			}
+			submitted = true
+		}
+
+		// Let the epoch run until it makes progress — at least one more
+		// job done than the previous epoch left on disk (the per-life
+		// template re-encode can dominate the early window, especially
+		// under -race) — then kill it mid-flight. A clean drain happens
+		// only when everything already finished.
+		target := prevDone + 1
+		if target > nJobs {
+			target = nJobs
+		}
+		hardCap := time.Now().Add(30 * time.Second)
+		doneNow := 0
+		for time.Now().Before(hardCap) {
+			doneNow = 0
+			for _, id := range ids {
+				if j := d.Job(id); j != nil && j.State == StateDone {
+					doneNow++
+				}
+			}
+			if doneNow >= target {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		allDone := doneNow == nJobs
+		if allDone {
+			d.Drain()
+		} else {
+			d.Kill()
+		}
+
+		// Monotonicity: results already on disk never change.
+		now := readStoreResults(t, dir)
+		for id, b := range now {
+			if prev, ok := seen[id]; ok && !bytes.Equal(prev, b) {
+				t.Fatalf("epoch %d: job %s result changed after completion:\n  was %s\n  now %s", epoch, id, prev, b)
+			}
+			seen[id] = b
+		}
+		converged = len(now) == nJobs
+		prevDone = len(now)
+		t.Logf("epoch %d (killed=%v): %d/%d done", epoch, !allDone, len(now), nJobs)
+	}
+	if !converged {
+		t.Fatalf("not converged after %d epochs: %d/%d done", maxEpochs, len(seen), nJobs)
+	}
+
+	// Final state matches the undisturbed reference byte for byte.
+	got := readStoreResults(t, dir)
+	for _, id := range ids {
+		if !bytes.Equal(got[id], want[id]) {
+			t.Errorf("job %s diverges from reference:\n  got  %s\n  want %s", id, got[id], want[id])
+		}
+	}
+	// And nothing was quarantined: the faults were all transient.
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := st.LoadJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range onDisk {
+		if j.State == StateQuarantined {
+			t.Errorf("job %s quarantined under transient chaos: %s", j.ID, j.Error)
+		}
+	}
+}
+
+// waitTerminal polls the daemon API (not HTTP) until the listed jobs
+// all reach a terminal state.
+func waitTerminal(t *testing.T, d *Daemon, ids []string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		done := 0
+		for _, id := range ids {
+			if j := d.Job(id); j != nil && terminal(j.State) {
+				done++
+			}
+		}
+		if done == len(ids) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("jobs not terminal within %v", timeout)
+}
+
+// TestChaosPoisonQuarantine: a job whose every attempt panics must hit
+// the PoisonPanics threshold and land in quarantine — with the panic
+// message preserved, the attempt history intact, and the job visible
+// on GET /v1/quarantine — instead of crash-looping a worker forever.
+func TestChaosPoisonQuarantine(t *testing.T) {
+	c := &Chaos{Seed: 7, PanicFrac: 1.0, MaxAttempt: 100}
+	d, err := New(chaosOpts(t.TempDir(), 1, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	j, code := httpSubmit(t, base, inconsistentSpec(keccak.SHA3_224, "1-bit", true, "poison"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	jobs := waitDone(t, base, []string{j.ID}, time.Minute)
+	q := jobs[j.ID]
+	if q.State != StateQuarantined {
+		t.Fatalf("poison job state = %s, want quarantined", q.State)
+	}
+	if q.Panics != PoisonPanics {
+		t.Errorf("poison job panics = %d, want %d", q.Panics, PoisonPanics)
+	}
+	if !strings.Contains(q.Error, "panicked") {
+		t.Errorf("poison job error = %q, want the panic message", q.Error)
+	}
+
+	// The quarantine endpoint lists it.
+	resp, err := http.Get(base + "/v1/quarantine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listed []*Job
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listed) != 1 || listed[0].ID != j.ID {
+		t.Errorf("/v1/quarantine = %+v, want exactly the poison job", listed)
+	}
+
+	// The event tail tells the story: panics, retries, quarantine.
+	tail, err := d.Events(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []string{"job.panic", "job.retry", "job.quarantined"} {
+		if !bytes.Contains(tail, []byte(ev)) {
+			t.Errorf("event tail missing %s: %s", ev, tail)
+		}
+	}
+	srv.Close()
+	d.Drain()
+}
+
+// TestChaosDeadlineRetryQuarantine: a per-attempt deadline far below
+// the solve time fails every attempt; the job retries with backoff up
+// to its MaxAttempts, then quarantines carrying the partial-progress
+// checkpoint of its last attempt.
+func TestChaosDeadlineRetryQuarantine(t *testing.T) {
+	d, err := New(chaosOpts(t.TempDir(), 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The relaxed (unknown-position) SHA3-512 refutation takes far
+	// longer than 30ms, so every attempt blows its deadline.
+	spec := inconsistentSpec(keccak.SHA3_512, "1-bit", false, "deadline")
+	spec.DeadlineMs = 30
+	spec.MaxAttempts = 2
+	j, err := d.Submit(spec, "chaos-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, d, []string{j.ID}, time.Minute)
+	got := d.Job(j.ID)
+	if got.State != StateQuarantined {
+		t.Fatalf("deadline job = %+v, want quarantined", got)
+	}
+	if got.Attempts != 2 {
+		t.Errorf("deadline job attempts = %d, want 2 (MaxAttempts honoured)", got.Attempts)
+	}
+	if !strings.Contains(got.Error, "deadline") {
+		t.Errorf("deadline job error = %q, want deadline message", got.Error)
+	}
+	if got.Checkpoint == nil || got.Checkpoint.Status != "budget-exceeded" {
+		t.Errorf("deadline job checkpoint = %+v, want the interrupted attempt's partial result", got.Checkpoint)
+	}
+	if got.Result != nil {
+		t.Errorf("deadline job result = %+v, want nil (never completed)", got.Result)
+	}
+	d.Drain()
+}
+
+// TestChaosDeadlineGenerous: a deadline the solve comfortably beats
+// must not disturb the result — first attempt, done, no checkpoint.
+func TestChaosDeadlineGenerous(t *testing.T) {
+	d, err := New(chaosOpts(t.TempDir(), 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := inconsistentSpec(keccak.SHA3_224, "1-bit", true, "roomy")
+	spec.DeadlineMs = 60_000
+	j, err := d.Submit(spec, "chaos-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, d, []string{j.ID}, time.Minute)
+	got := d.Job(j.ID)
+	if got.State != StateDone || got.Attempts != 1 || got.Checkpoint != nil {
+		t.Fatalf("roomy-deadline job = state %s attempts %d checkpoint %+v, want done/1/nil",
+			got.State, got.Attempts, got.Checkpoint)
+	}
+	d.Drain()
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math/rand"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,6 +31,37 @@ type Options struct {
 	// DrainTimeout bounds how long Drain waits for in-flight jobs before
 	// interrupting their solves and re-queueing them (default 30s).
 	DrainTimeout time.Duration
+
+	// LeaseTTL is how long a lease may go without a heartbeat before
+	// any daemon on the state directory may steal the job (default 15s).
+	// HeartbeatEvery is the refresh cadence (default LeaseTTL/3) and
+	// ReapEvery how often stale leases are hunted (default LeaseTTL/2).
+	LeaseTTL       time.Duration
+	HeartbeatEvery time.Duration
+	ReapEvery      time.Duration
+
+	// MaxAttempts is the default attempt budget for jobs whose spec
+	// leaves MaxAttempts at 0 (default 3). Failed attempts re-queue with
+	// jittered exponential backoff: RetryBase doubling per attempt,
+	// capped at RetryMax (defaults 500ms / 30s).
+	MaxAttempts int
+	RetryBase   time.Duration
+	RetryMax    time.Duration
+
+	// GCMaxAge enables age-based pruning of terminal job records and
+	// their event tails: anything finished longer ago is removed every
+	// GCEvery (default 1m). 0 disables GC.
+	GCMaxAge time.Duration
+	GCEvery  time.Duration
+
+	// ShedWatermark is the queue depth above which submits with
+	// Priority <= 0 are shed with 429 (default 3/4 of QueueDepth).
+	ShedWatermark int
+
+	// Chaos injects deterministic faults into job execution — dev/test
+	// only (see chaos.go and the -chaos flag on cmd/afad).
+	Chaos *Chaos
+
 	// Recorder receives daemon-level events and metrics (job lifecycle,
 	// queue depth); per-job solver events go to each job's own tail.
 	Recorder *obs.Trace
@@ -54,18 +87,47 @@ func (o Options) withDefaults() Options {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 30 * time.Second
 	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = o.LeaseTTL / 3
+	}
+	if o.ReapEvery <= 0 {
+		o.ReapEvery = o.LeaseTTL / 2
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 500 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 30 * time.Second
+	}
+	if o.GCEvery <= 0 {
+		o.GCEvery = time.Minute
+	}
+	if o.ShedWatermark < 1 {
+		o.ShedWatermark = o.QueueDepth * 3 / 4
+	}
 	return o
 }
 
-// Daemon owns the queue, the template cache, the worker pool and the
-// job store. One dispatcher goroutine pops key-grouped batches and
-// submits each job to the pool; workers run jobs to completion,
-// persisting every transition.
+// Daemon owns the queue, the template cache, the worker pool, the job
+// store and the lease janitor. One dispatcher goroutine pops
+// key-grouped batches and submits each job to the pool; workers claim
+// a lease, run the job under its deadline, and persist every
+// transition. The janitor heartbeats held leases, reaps stale ones
+// (its own and those of dead peers on the same state directory),
+// releases backoff-delayed retries and garbage-collects old terminal
+// records.
 type Daemon struct {
 	opts    Options
 	store   *Store
 	queue   *queue
 	limiter *rateLimiter
+	owner   string // lease owner id, unique per daemon life
 
 	ctx    context.Context // root: done only on Kill / post-drain-timeout interrupt
 	cancel context.CancelFunc
@@ -73,19 +135,24 @@ type Daemon struct {
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
+	leases    map[string]*Lease    // leases this daemon currently holds
+	retry     map[string]time.Time // job id -> earliest re-dispatch time
 	templates map[string]*core.Template
 	nextID    int64
 
-	draining atomic.Bool
-	killed   atomic.Bool // test hook: simulate SIGKILL (skip all persists)
+	draining      atomic.Bool
+	drainDeadline atomic.Int64 // unixnano; 0 until Drain begins
+	killed        atomic.Bool  // test hook: simulate SIGKILL (skip all persists)
+	avgRunNs      atomic.Int64 // EWMA of attempt wall time, feeds Retry-After
 
 	dispatcherDone chan struct{}
+	janitorDone    chan struct{}
 	drainOnce      sync.Once
 }
 
 // New opens the state directory, re-enqueues unfinished jobs from a
-// previous life (queued and running alike — a running record means the
-// process died mid-job), and starts the dispatcher and worker pool.
+// previous life (honouring live foreign leases and retry backoff), and
+// starts the dispatcher, the worker pool and the janitor.
 func New(opts Options) (*Daemon, error) {
 	opts = opts.withDefaults()
 	store, err := NewStore(opts.StateDir)
@@ -100,37 +167,77 @@ func New(opts Options) (*Daemon, error) {
 	d := &Daemon{
 		opts:           opts,
 		store:          store,
-		queue:          newQueue(opts.QueueDepth),
+		queue:          newQueue(opts.QueueDepth, opts.ShedWatermark),
 		limiter:        newRateLimiter(opts.Rate, opts.Burst),
+		owner:          newOwnerID(),
 		ctx:            ctx,
 		cancel:         cancel,
 		jobs:           make(map[string]*Job),
+		leases:         make(map[string]*Lease),
+		retry:          make(map[string]time.Time),
 		templates:      make(map[string]*core.Template),
 		nextID:         nextSeq(prev),
 		dispatcherDone: make(chan struct{}),
+		janitorDone:    make(chan struct{}),
 	}
+	d.avgRunNs.Store(int64(time.Second)) // optimistic prior until measured
 	for _, j := range prev {
 		d.jobs[j.ID] = j
-		if j.State == StateQueued || j.State == StateRunning {
-			if j.State == StateRunning {
-				// Interrupted mid-run by a kill: back to the queue.
-				j.State = StateQueued
-				if err := store.SaveJob(j); err != nil {
-					cancel()
-					return nil, err
-				}
-			}
-			if err := d.queue.push(j); err != nil {
-				cancel()
-				return nil, fmt.Errorf("service: %d unfinished jobs exceed the queue depth %d: %w",
-					len(prev), opts.QueueDepth, err)
-			}
-			obs.Emit(recOf(opts.Recorder), "service", "job.resumed", obs.F("job", j.ID))
+		if err := d.resume(j); err != nil {
+			cancel()
+			return nil, err
 		}
 	}
 	d.pool = campaign.NewPool(ctx, opts.Workers)
 	go d.dispatch()
+	go d.janitor()
 	return d, nil
+}
+
+// resume re-schedules one loaded job according to its persisted state.
+func (d *Daemon) resume(j *Job) error {
+	switch j.State {
+	case StateQueued:
+		if j.NotBefore.After(time.Now()) {
+			// Mid-backoff when the previous life ended: keep waiting.
+			d.retry[j.ID] = j.NotBefore
+			return nil
+		}
+		if err := d.queue.requeue(j); err != nil {
+			return err
+		}
+		obs.Emit(d.rec(), "service", "job.resumed", obs.F("job", j.ID))
+	case StateLeased, StateRunning:
+		lease, err := d.store.ReadLease(j.ID)
+		if err != nil {
+			return err
+		}
+		if lease != nil && time.Since(lease.Heartbeat) <= d.opts.LeaseTTL {
+			// A live peer on the same state directory owns this job. Leave
+			// it; the reaper revisits once the lease goes stale.
+			return nil
+		}
+		if lease != nil {
+			if err := d.store.RemoveLease(j.ID); err != nil {
+				if os.IsNotExist(err) {
+					return nil // lost the steal race to a peer
+				}
+				return err
+			}
+			obs.Emit(d.rec(), "service", "job.lease.expired",
+				obs.F("job", j.ID), obs.F("owner", lease.Owner))
+		}
+		// Interrupted mid-run by a dead daemon: back to the queue.
+		j.State = StateQueued
+		if err := d.store.SaveJob(j); err != nil {
+			return err
+		}
+		if err := d.queue.requeue(j); err != nil {
+			return err
+		}
+		obs.Emit(d.rec(), "service", "job.resumed", obs.F("job", j.ID))
+	}
+	return nil
 }
 
 // Submit validates, persists and enqueues one job. The returned Job is
@@ -144,6 +251,10 @@ func (d *Daemon) Submit(spec JobSpec, client string) (*Job, error) {
 	}
 	d.mu.Lock()
 	id := fmt.Sprintf("j-%06d", d.nextID)
+	for d.jobs[id] != nil { // adopted foreign IDs may have raced ahead
+		d.nextID++
+		id = fmt.Sprintf("j-%06d", d.nextID)
+	}
 	d.nextID++
 	job := &Job{
 		ID: id, Client: client, Spec: spec,
@@ -165,6 +276,11 @@ func (d *Daemon) Submit(spec JobSpec, client string) (*Job, error) {
 		if errors.Is(err, ErrQueueClosed) {
 			return nil, ErrDraining
 		}
+		if errors.Is(err, ErrQueueShed) {
+			obs.Emit(d.rec(), "service", "job.shed",
+				obs.F("priority", spec.Priority), obs.F("queued", d.queue.len()))
+			d.counter("service.shed", 1)
+		}
 		return nil, err
 	}
 	obs.Emit(d.rec(), "service", "job.submitted",
@@ -176,11 +292,56 @@ func (d *Daemon) Submit(spec JobSpec, client string) (*Job, error) {
 	return snap, nil
 }
 
-// Allow applies the per-client rate limit (one token per submit).
-func (d *Daemon) Allow(client string) bool { return d.limiter.allow(client) }
+// Allow applies the per-client rate limit (one token per submit). On
+// denial the duration is the client's own token-refill wait — the
+// Retry-After value.
+func (d *Daemon) Allow(client string) (bool, time.Duration) { return d.limiter.allow(client) }
 
 // Draining reports whether a drain has begun.
 func (d *Daemon) Draining() bool { return d.draining.Load() }
+
+// RetryAfterDrain estimates when a draining daemon's successor will
+// accept work again: the remaining drain grace plus a restart margin.
+func (d *Daemon) RetryAfterDrain() time.Duration {
+	if dl := d.drainDeadline.Load(); dl != 0 {
+		if rem := time.Until(time.Unix(0, dl)); rem > 0 {
+			return rem + time.Second
+		}
+		return time.Second
+	}
+	return d.opts.DrainTimeout
+}
+
+// RetryAfterQueue estimates when queue space will free up: the current
+// backlog divided by the worker count, paced by the measured average
+// attempt duration (EWMA). This replaces the old hardcoded guess.
+func (d *Daemon) RetryAfterQueue() time.Duration {
+	backlog := d.queue.len() + 1
+	per := time.Duration(d.avgRunNs.Load())
+	est := time.Duration(float64(backlog) / float64(d.opts.Workers) * float64(per))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 10*time.Minute {
+		est = 10 * time.Minute
+	}
+	return est
+}
+
+// observeRun folds one attempt's wall time into the EWMA behind
+// RetryAfterQueue.
+func (d *Daemon) observeRun(dur time.Duration) {
+	for {
+		old := d.avgRunNs.Load()
+		next := old + (int64(dur)-old)/4
+		if next < 1 {
+			next = 1
+		}
+		if d.avgRunNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // Job returns a snapshot of one job, or nil when unknown.
 func (d *Daemon) Job(id string) *Job {
@@ -204,6 +365,18 @@ func (d *Daemon) Jobs() []*Job {
 	return out
 }
 
+// Quarantined returns snapshots of the poison jobs, in ID order.
+func (d *Daemon) Quarantined() []*Job {
+	all := d.Jobs()
+	out := all[:0]
+	for _, j := range all {
+		if j.State == StateQuarantined {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
 // rec converts the configured trace to the Recorder interface without
 // the typed-nil foot-gun (a nil *Trace must be a nil interface).
 func (d *Daemon) rec() obs.Recorder { return recOf(d.opts.Recorder) }
@@ -213,6 +386,12 @@ func recOf(t *obs.Trace) obs.Recorder {
 		return nil
 	}
 	return t
+}
+
+func (d *Daemon) counter(name string, delta int64) {
+	if d.opts.Recorder != nil {
+		d.opts.Recorder.Metrics().Counter(name).Add(delta)
+	}
 }
 
 // Events returns the raw JSONL event tail of a job.
@@ -280,11 +459,49 @@ func (d *Daemon) templateFor(spec JobSpec) *core.Template {
 	return tpl
 }
 
-// runJob executes one job on a worker: instantiate (or encode), solve
-// under the job's budgets, decode, persist. A root-context
-// cancellation (kill or drain timeout) re-queues the job instead of
-// failing it — the drain contract is finish or checkpoint, never lose.
+// acquire claims the lease for a queued job and moves it to leased.
+// The returned gen is the in-process fencing token this attempt must
+// present when it completes. ok=false means the job is not claimable
+// right now (a live peer daemon holds its lease) and was deferred.
+func (d *Daemon) acquire(j *Job) (gen int64, attempt int, ok bool) {
+	// Cross-process fence first: a fresh foreign lease means a peer on
+	// the same state directory owns the job (a steal race went its way).
+	if l, err := d.store.ReadLease(j.ID); err == nil && l != nil && l.Owner != d.owner &&
+		time.Since(l.Heartbeat) <= d.opts.LeaseTTL {
+		d.mu.Lock()
+		d.retry[j.ID] = time.Now().Add(d.opts.LeaseTTL)
+		d.mu.Unlock()
+		return 0, 0, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j.State != StateQueued {
+		return 0, 0, false // completed or re-routed while waiting in the pool
+	}
+	j.gen++
+	gen = j.gen
+	attempt = j.Attempts + 1
+	now := time.Now().UTC()
+	lease := &Lease{JobID: j.ID, Owner: d.owner, Attempt: attempt, Acquired: now, Heartbeat: now}
+	d.leases[j.ID] = lease
+	j.State = StateLeased
+	if !d.killed.Load() {
+		_ = d.store.SaveLease(lease)
+		_ = d.store.SaveJob(j)
+	}
+	return gen, attempt, true
+}
+
+// runJob executes one attempt of a job on a worker: claim the lease,
+// instantiate (or encode), solve under the job's deadline and budgets,
+// then settle the outcome — done, retry with backoff, or quarantine.
+// A root-context cancellation (kill or drain timeout) re-queues the
+// job instead of failing it; interruption never consumes an attempt.
 func (d *Daemon) runJob(ctx context.Context, j *Job, tpl *core.Template) {
+	gen, attempt, ok := d.acquire(j)
+	if !ok {
+		return
+	}
 	d.setState(j, func() {
 		j.State = StateRunning
 		j.Started = time.Now().UTC()
@@ -303,38 +520,178 @@ func (d *Daemon) runJob(ctx context.Context, j *Job, tpl *core.Template) {
 		rec = obs.NewTrace(ef, 0)
 		defer ef.Close()
 	}
-	obs.Emit(rec, "service", "job.start", obs.F("job", j.ID), obs.F("attempt", j.Attempts))
+	obs.Emit(rec, "service", "job.start", obs.F("job", j.ID), obs.F("attempt", attempt))
 
-	res, jerr := d.solve(ctx, j, tpl, rec)
+	start := time.Now()
+	res, partial, panicked, jerr := d.attempt(ctx, j, attempt, tpl, rec)
 	if d.ctx.Err() != nil {
 		// Killed or drain-interrupted, not a job outcome. With a real
 		// SIGKILL (or its test double) nothing more is persisted and the
-		// record stays at running; a drain interrupt checkpoints the job
-		// back to queued so the next start re-runs it.
+		// record stays at leased/running; a drain interrupt checkpoints
+		// the job back to queued so the next start re-runs it. Neither
+		// consumes an attempt.
 		obs.Emit(rec, "service", "job.interrupted", obs.F("job", j.ID))
 		if !d.killed.Load() {
-			d.setState(j, func() {
-				j.State = StateQueued
-			})
+			d.releaseInterrupted(j, gen)
 		}
 		return
 	}
-	d.setState(j, func() {
-		j.Finished = time.Now().UTC()
-		if jerr != nil {
-			j.State = StateFailed
-			j.Error = jerr.Error()
-		} else {
-			j.State = StateDone
-			j.Result = res
+	d.observeRun(time.Since(start))
+	d.settle(j, gen, attempt, res, partial, panicked, jerr, rec)
+}
+
+// attempt runs the solve for one attempt, converting panics into
+// errors and the per-attempt deadline into a retryable failure. Chaos
+// hooks (dev/test only) fire here so injected faults travel the same
+// recovery paths real ones would.
+func (d *Daemon) attempt(ctx context.Context, j *Job, attempt int, tpl *core.Template, rec obs.Recorder) (res *JobResult, partial *JobResult, panicked bool, jerr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, partial = nil, nil
+			panicked = true
+			jerr = fmt.Errorf("service: job panicked: %v", r)
+			obs.Emit(rec, "service", "job.panic",
+				obs.F("job", j.ID), obs.F("attempt", attempt), obs.F("err", fmt.Sprint(r)))
 		}
-	})
-	obs.Emit(rec, "service", "job.finish",
-		obs.F("job", j.ID), obs.F("state", j.State), obs.F("status", resultStatus(res)))
-	obs.Emit(d.rec(), "service", "job.finish",
-		obs.F("job", j.ID), obs.F("state", j.State), obs.F("status", resultStatus(res)))
-	if d.opts.Recorder != nil {
-		d.opts.Recorder.Metrics().Counter("service.finished").Add(1)
+	}()
+	if c := d.opts.Chaos; c != nil {
+		if c.hit(chaosSlow, j.ID, attempt) {
+			obs.Emit(rec, "service", "chaos.slow", obs.F("job", j.ID), obs.F("ms", c.SlowBy.Milliseconds()))
+			time.Sleep(c.SlowBy) // deliberately cancellation-blind: a hung worker
+		}
+		if c.hit(chaosPanic, j.ID, attempt) {
+			obs.Emit(rec, "service", "chaos.panic", obs.F("job", j.ID))
+			panic("chaos: injected panic")
+		}
+	}
+	dlCtx := ctx
+	if ms := j.Spec.DeadlineMs; ms > 0 {
+		var cancel context.CancelFunc
+		dlCtx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+	res, partial, jerr = d.solve(dlCtx, j, tpl, rec)
+	if jerr == nil && dlCtx.Err() != nil && ctx.Err() == nil {
+		// The per-attempt deadline fired: the solver was interrupted and
+		// returned a budget-exceeded result, which becomes the partial
+		// checkpoint of a *failed* attempt rather than a final answer.
+		partial, res = res, nil
+		jerr = fmt.Errorf("service: attempt deadline %dms exceeded", j.Spec.DeadlineMs)
+	}
+	return res, partial, false, jerr
+}
+
+// settle applies one attempt's outcome under the fencing checks: a
+// worker whose lease was stolen while it was stuck discards its result
+// (the thief's re-run is the one that counts — this is what makes
+// "no job double-completed" hold under hangs and steals).
+func (d *Daemon) settle(j *Job, gen int64, attempt int, res, partial *JobResult, panicked bool, jerr error, rec obs.Recorder) {
+	d.mu.Lock()
+	if j.gen != gen {
+		d.mu.Unlock()
+		obs.Emit(rec, "service", "job.lease.lost", obs.F("job", j.ID), obs.F("attempt", attempt))
+		d.counter("service.lease_lost", 1)
+		return
+	}
+	// Cross-process fence: the lease file must still be ours. (In-process
+	// steals are fully covered by gen; this guards multi-daemon setups.)
+	if !d.killed.Load() {
+		if l, err := d.store.ReadLease(j.ID); err == nil && (l == nil || l.Owner != d.owner) {
+			delete(d.leases, j.ID)
+			d.mu.Unlock()
+			obs.Emit(rec, "service", "job.lease.lost", obs.F("job", j.ID), obs.F("attempt", attempt))
+			d.counter("service.lease_lost", 1)
+			return
+		}
+	}
+	delete(d.leases, j.ID)
+	now := time.Now().UTC()
+	var ev string
+	var backoff time.Duration
+	if jerr == nil {
+		j.State = StateDone
+		j.Finished = now
+		j.Result = res
+		j.Error, j.Checkpoint = "", nil
+		j.NotBefore = time.Time{}
+		ev = "job.finish"
+	} else {
+		if panicked {
+			j.Panics++
+		}
+		j.Error = jerr.Error()
+		if partial != nil {
+			j.Checkpoint = partial
+		}
+		max := j.Spec.MaxAttempts
+		if max <= 0 {
+			max = d.opts.MaxAttempts
+		}
+		if j.Panics >= PoisonPanics || j.Attempts >= max {
+			j.State = StateQuarantined
+			j.Finished = now
+			j.NotBefore = time.Time{}
+			ev = "job.quarantined"
+		} else {
+			backoff = d.backoff(j.Attempts)
+			j.State = StateQueued
+			j.NotBefore = now.Add(backoff)
+			d.retry[j.ID] = j.NotBefore
+			ev = "job.retry"
+		}
+	}
+	if !d.killed.Load() {
+		_ = d.store.SaveJob(j)
+		_ = d.store.RemoveLease(j.ID)
+	}
+	state := j.State
+	d.mu.Unlock()
+
+	fields := []obs.Field{obs.F("job", j.ID), obs.F("state", state), obs.F("attempt", attempt)}
+	switch ev {
+	case "job.finish":
+		fields = append(fields, obs.F("status", resultStatus(res)))
+		d.counter("service.finished", 1)
+	case "job.retry":
+		fields = append(fields, obs.F("err", jerr.Error()), obs.F("backoff_ms", backoff.Milliseconds()))
+		d.counter("service.retries", 1)
+	case "job.quarantined":
+		fields = append(fields, obs.F("err", jerr.Error()))
+		d.counter("service.quarantined", 1)
+	}
+	obs.Emit(rec, "service", ev, fields...)
+	obs.Emit(d.rec(), "service", ev, fields...)
+}
+
+// backoff computes the jittered exponential retry delay after the
+// given number of consumed attempts: RetryBase doubling per attempt,
+// capped at RetryMax, with ±20% jitter so a burst of failures does not
+// re-arrive in lockstep.
+func (d *Daemon) backoff(attempts int) time.Duration {
+	delay := d.opts.RetryBase
+	for i := 1; i < attempts && delay < d.opts.RetryMax; i++ {
+		delay *= 2
+	}
+	if delay > d.opts.RetryMax {
+		delay = d.opts.RetryMax
+	}
+	jitter := 1 + (rand.Float64()-0.5)*0.4
+	return time.Duration(float64(delay) * jitter)
+}
+
+// releaseInterrupted checkpoints a drain-interrupted job back to
+// queued (subject to the same fencing as settle).
+func (d *Daemon) releaseInterrupted(j *Job, gen int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j.gen != gen {
+		return
+	}
+	delete(d.leases, j.ID)
+	j.State = StateQueued
+	if !d.killed.Load() {
+		_ = d.store.SaveJob(j)
+		_ = d.store.RemoveLease(j.ID)
 	}
 }
 
@@ -346,11 +703,12 @@ func resultStatus(r *JobResult) string {
 }
 
 // solve runs the attack for one job. tpl == nil means the classic
-// per-job encode path.
-func (d *Daemon) solve(ctx context.Context, j *Job, tpl *core.Template, rec obs.Recorder) (*JobResult, error) {
+// per-job encode path. On error, the returned partial carries the
+// solver effort spent so far (the quarantine checkpoint).
+func (d *Daemon) solve(ctx context.Context, j *Job, tpl *core.Template, rec obs.Recorder) (out, partial *JobResult, err error) {
 	p, err := j.Spec.parse()
 	if err != nil {
-		return nil, err // unreachable: validated at submit
+		return nil, nil, err // unreachable: validated at submit
 	}
 	cfg := core.DefaultConfig(p.mode, p.model)
 	cfg.KnownPosition = j.Spec.KnownPosition
@@ -369,13 +727,13 @@ func (d *Daemon) solve(ctx context.Context, j *Job, tpl *core.Template, rec obs.
 	if tpl != nil {
 		atk, err = tpl.Instantiate(cfg, p.correct, p.faulty, p.windows)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		batched = true
 	} else {
 		atk = core.NewAttack(cfg)
 		if err := atk.AddCorrect(p.correct); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for i, fd := range p.faulty {
 			w := -1
@@ -383,7 +741,7 @@ func (d *Daemon) solve(ctx context.Context, j *Job, tpl *core.Template, rec obs.
 				w = p.windows[i]
 			}
 			if err := atk.AddFaulty(fd, w); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
@@ -396,10 +754,10 @@ func (d *Daemon) solve(ctx context.Context, j *Job, tpl *core.Template, rec obs.
 	}
 	res, err := atk.SolveContext(jobCtx)
 	if err != nil {
-		return nil, err
+		return nil, partialResult(atk), err
 	}
 
-	out := &JobResult{
+	out = &JobResult{
 		Status:      res.Status.String(),
 		Candidates:  res.Candidates,
 		Vars:        res.Vars,
@@ -417,7 +775,17 @@ func (d *Daemon) solve(ctx context.Context, j *Job, tpl *core.Template, rec obs.
 			out.Message = hex.EncodeToString(msg)
 		}
 	}
-	return out, nil
+	return out, nil, nil
+}
+
+// partialResult snapshots the solver effort of a failed attempt.
+func partialResult(atk *core.Attack) *JobResult {
+	p := &JobResult{Status: "partial"}
+	for _, st := range atk.SolverStats() {
+		p.Conflicts += st.Stats.Conflicts
+		p.Propagations += st.Stats.Propagations
+	}
+	return p
 }
 
 // setState applies a mutation to a job and persists it, all under the
@@ -433,14 +801,197 @@ func (d *Daemon) setState(j *Job, mutate func()) {
 	}
 }
 
+// janitor is the daemon's background maintenance loop: heartbeat held
+// leases, reap stale ones (its own when heartbeats stall, and those of
+// dead peers on the shared state directory), release backoff-delayed
+// retries, and GC old terminal records.
+func (d *Daemon) janitor() {
+	defer close(d.janitorDone)
+	tick := time.NewTicker(d.opts.HeartbeatEvery)
+	defer tick.Stop()
+	lastReap, lastGC := time.Now(), time.Now()
+	for {
+		select {
+		case <-d.ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if d.killed.Load() {
+			continue // a dead process neither beats nor reaps
+		}
+		d.beat()
+		d.releaseRetries()
+		if time.Since(lastReap) >= d.opts.ReapEvery {
+			lastReap = time.Now()
+			d.reap()
+		}
+		if d.opts.GCMaxAge > 0 && time.Since(lastGC) >= d.opts.GCEvery {
+			lastGC = time.Now()
+			d.gc()
+		}
+	}
+}
+
+// beat refreshes the heartbeat on every lease this daemon holds.
+func (d *Daemon) beat() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := time.Now().UTC()
+	for id, l := range d.leases {
+		if c := d.opts.Chaos; c != nil && c.hit(chaosDropBeat, id, l.Attempt) {
+			continue // chaos: this attempt's heartbeats are delayed
+		}
+		l.Heartbeat = now
+		_ = d.store.SaveLease(l)
+	}
+}
+
+// reap expires stale leases. Own leases go stale only when heartbeats
+// stall (a hung worker, or chaos dropping beats); foreign leases go
+// stale when the peer daemon that held them died. Either way the job
+// returns to the queue — the steal is arbitrated by the lease file
+// unlink, so concurrent reapers cannot both win.
+func (d *Daemon) reap() {
+	now := time.Now()
+	// Phase 1: own leases whose heartbeats stopped.
+	d.mu.Lock()
+	var expired []string
+	for id, l := range d.leases {
+		if now.Sub(l.Heartbeat) <= d.opts.LeaseTTL {
+			continue
+		}
+		j := d.jobs[id]
+		if j == nil {
+			delete(d.leases, id)
+			continue
+		}
+		if err := d.store.RemoveLease(id); err != nil && !os.IsNotExist(err) {
+			continue
+		}
+		delete(d.leases, id)
+		j.gen++ // fence out the stuck worker
+		j.State = StateQueued
+		_ = d.store.SaveJob(j)
+		d.retry[id] = now
+		expired = append(expired, id)
+	}
+	d.mu.Unlock()
+	for _, id := range expired {
+		obs.Emit(d.rec(), "service", "job.lease.expired", obs.F("job", id), obs.F("owner", d.owner))
+		d.counter("service.lease_expired", 1)
+	}
+
+	// Phase 2: foreign leases on the shared state directory.
+	leases, err := d.store.LoadLeases()
+	if err != nil {
+		return
+	}
+	for _, l := range leases {
+		if l.Owner == d.owner || now.Sub(l.Heartbeat) <= d.opts.LeaseTTL {
+			continue
+		}
+		if err := d.store.RemoveLease(l.JobID); err != nil {
+			continue // lost the steal race
+		}
+		obs.Emit(d.rec(), "service", "job.lease.expired",
+			obs.F("job", l.JobID), obs.F("owner", l.Owner))
+		d.counter("service.lease_expired", 1)
+		d.adopt(l.JobID)
+	}
+}
+
+// adopt takes over a job whose foreign lease this daemon just reaped,
+// reloading the record from disk (the in-memory copy, if any, may be
+// stale) and re-queueing it unless it already reached a terminal
+// state.
+func (d *Daemon) adopt(id string) {
+	onDisk, err := d.store.ReadJob(id)
+	if err != nil || onDisk == nil {
+		return
+	}
+	d.mu.Lock()
+	j, known := d.jobs[id]
+	if !known {
+		j = onDisk
+		d.jobs[id] = j
+	}
+	if terminal(j.State) {
+		d.mu.Unlock()
+		return
+	}
+	j.gen++
+	j.State = StateQueued
+	_ = d.store.SaveJob(j)
+	d.retry[id] = time.Now()
+	d.mu.Unlock()
+	obs.Emit(d.rec(), "service", "job.stolen", obs.F("job", id))
+	d.counter("service.stolen", 1)
+}
+
+// releaseRetries re-dispatches jobs whose backoff (or steal hold-off)
+// has elapsed.
+func (d *Daemon) releaseRetries() {
+	now := time.Now()
+	d.mu.Lock()
+	var due []*Job
+	for id, at := range d.retry {
+		if at.After(now) {
+			continue
+		}
+		delete(d.retry, id)
+		if j := d.jobs[id]; j != nil && j.State == StateQueued {
+			due = append(due, j)
+		}
+	}
+	d.mu.Unlock()
+	sort.Slice(due, func(a, b int) bool { return due[a].ID < due[b].ID })
+	for _, j := range due {
+		if err := d.queue.requeue(j); err != nil {
+			return // closed: the job stays persisted as queued for the next start
+		}
+	}
+}
+
+// gc prunes terminal job records (and their event tails) older than
+// GCMaxAge, reporting the reclaimed bytes.
+func (d *Daemon) gc() {
+	cutoff := time.Now().Add(-d.opts.GCMaxAge)
+	d.mu.Lock()
+	var victims []string
+	for id, j := range d.jobs {
+		if terminal(j.State) && !j.Finished.IsZero() && j.Finished.Before(cutoff) {
+			victims = append(victims, id)
+		}
+	}
+	removed := 0
+	var reclaimed int64
+	for _, id := range victims {
+		n, err := d.store.RemoveJob(id)
+		if err != nil {
+			continue
+		}
+		delete(d.jobs, id)
+		removed++
+		reclaimed += n
+	}
+	d.mu.Unlock()
+	if removed > 0 {
+		obs.Emit(d.rec(), "service", "store.gc",
+			obs.F("removed", removed), obs.F("reclaimed_bytes", reclaimed))
+		d.counter("service.gc_removed", int64(removed))
+		d.counter("service.gc_reclaimed_bytes", reclaimed)
+	}
+}
+
 // Drain gracefully shuts the daemon down: new submits fail with
 // ErrDraining, queued jobs stay persisted for the next start, and
 // in-flight jobs get DrainTimeout to finish before their solves are
 // interrupted and the jobs checkpointed back to queued. It returns
-// once every worker has stopped.
+// once every worker and the janitor have stopped.
 func (d *Daemon) Drain() {
 	d.drainOnce.Do(func() {
 		d.draining.Store(true)
+		d.drainDeadline.Store(time.Now().Add(d.opts.DrainTimeout).UnixNano())
 		d.queue.close()
 		<-d.dispatcherDone
 		obs.Emit(d.rec(), "service", "daemon.drain", obs.F("queued", d.queue.len()))
@@ -453,13 +1004,16 @@ func (d *Daemon) Drain() {
 			<-done
 		}
 		d.cancel()
+		<-d.janitorDone
 	})
 }
 
 // Kill is the SIGKILL test double: it hard-stops the daemon without
 // letting in-flight jobs persist anything further, so the state
-// directory looks exactly like a process that died mid-run. Tests
-// restart a fresh Daemon on the same directory afterwards.
+// directory looks exactly like a process that died mid-run (including
+// its leases, which stay on disk and go stale for the next life to
+// steal). Tests restart a fresh Daemon on the same directory
+// afterwards.
 func (d *Daemon) Kill() {
 	d.killed.Store(true)
 	d.drainOnce.Do(func() {
@@ -468,5 +1022,6 @@ func (d *Daemon) Kill() {
 		d.cancel()
 		<-d.dispatcherDone
 		d.pool.Close()
+		<-d.janitorDone
 	})
 }

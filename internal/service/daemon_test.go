@@ -5,12 +5,14 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"testing"
 	"time"
 
 	"sha3afa/internal/fault"
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
 )
 
 // inconsistentSpec builds a deterministic, quickly-refutable job: the
@@ -72,7 +74,7 @@ func httpJob(t *testing.T, base, id string) *Job {
 	return &j
 }
 
-// waitDone polls until every listed job is done or failed.
+// waitDone polls until every listed job reaches a terminal state.
 func waitDone(t *testing.T, base string, ids []string, timeout time.Duration) map[string]*Job {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
@@ -82,7 +84,7 @@ func waitDone(t *testing.T, base string, ids []string, timeout time.Duration) ma
 		for _, id := range ids {
 			j := httpJob(t, base, id)
 			out[id] = j
-			if j.State == StateDone || j.State == StateFailed {
+			if terminal(j.State) {
 				finished++
 			}
 		}
@@ -96,11 +98,14 @@ func waitDone(t *testing.T, base string, ids []string, timeout time.Duration) ma
 }
 
 // normalize strips the fields that legitimately differ between two
-// runs of the same spec: wall-clock timing and scheduling history.
+// runs of the same spec: wall-clock timing and scheduling history
+// (attempt counts, backoff stamps, and the error/checkpoint left by
+// attempts that later retried — all scheduling, not outcome).
 func normalize(j *Job) *Job {
 	c := j.clone()
-	c.Submitted, c.Started, c.Finished = time.Time{}, time.Time{}, time.Time{}
-	c.Attempts = 0
+	c.Submitted, c.Started, c.Finished, c.NotBefore = time.Time{}, time.Time{}, time.Time{}, time.Time{}
+	c.Attempts, c.Panics = 0, 0
+	c.Error, c.Checkpoint = "", nil
 	if c.Result != nil {
 		c.Result.SolveMillis = 0
 	}
@@ -204,7 +209,7 @@ func TestDaemonKillRestartReproducible(t *testing.T) {
 	}
 	unfinished := 0
 	for _, j := range onDisk {
-		if j.State == StateQueued || j.State == StateRunning {
+		if !terminal(j.State) {
 			unfinished++
 		}
 	}
@@ -406,6 +411,48 @@ func TestDaemonQueueBackpressure(t *testing.T) {
 	}
 	waitDone(t, base, accepted, 5*time.Minute)
 	srv.Close()
+	d.Drain()
+}
+
+// TestDaemonGC: terminal jobs older than GCMaxAge are pruned — record,
+// event tail, in-memory entry — and the reclaimed bytes are counted.
+// Live jobs and young terminal jobs survive.
+func TestDaemonGC(t *testing.T) {
+	rec := obs.NewTrace(io.Discard, 0)
+	d, err := New(Options{
+		StateDir:       t.TempDir(),
+		HeartbeatEvery: 20 * time.Millisecond,
+		GCMaxAge:       150 * time.Millisecond,
+		GCEvery:        40 * time.Millisecond,
+		Recorder:       rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := d.Submit(inconsistentSpec(keccak.SHA3_224, "1-bit", true, "gc"), "gc-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, d, []string{j.ID}, time.Minute)
+	if d.Job(j.ID) == nil {
+		t.Fatal("job missing right after completion")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Job(j.ID) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("terminal job never garbage-collected")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got, err := d.store.ReadJob(j.ID); err != nil || got != nil {
+		t.Fatalf("job record survived GC: %+v, %v", got, err)
+	}
+	if ev, _ := d.store.ReadEvents(j.ID); ev != nil {
+		t.Fatalf("event tail survived GC: %q", ev)
+	}
+	if n := rec.Metrics().Counter("service.gc_reclaimed_bytes").Value(); n <= 0 {
+		t.Errorf("gc_reclaimed_bytes = %d, want > 0", n)
+	}
 	d.Drain()
 }
 

@@ -38,6 +38,20 @@ type JobSpec struct {
 	MaxCandidates int     `json:"max_candidates,omitempty"`
 	MaxConflicts  int64   `json:"max_conflicts,omitempty"`
 	TimeoutSec    float64 `json:"timeout_sec,omitempty"`
+	// DeadlineMs bounds each attempt's wall clock. Unlike TimeoutSec
+	// (a solver budget: expiry is a normal budget-exceeded result), a
+	// blown deadline fails the attempt, which then retries with backoff
+	// and eventually quarantines — the knob for "this job must not pin a
+	// worker". 0 means no deadline.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
+	// MaxAttempts caps how often a *failed* attempt (error, deadline,
+	// panic) is retried before the job is quarantined. Interruptions by
+	// drain or crash do not consume attempts. 0 means the server default.
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// Priority orders admission under overload: once the queue passes
+	// its shed watermark, only submits with Priority > 0 are accepted.
+	// Higher is more important; default 0.
+	Priority int `json:"priority,omitempty"`
 }
 
 // parsedSpec is the validated, decoded form of a JobSpec.
@@ -93,8 +107,14 @@ func (s JobSpec) parse() (parsedSpec, error) {
 	} else if len(s.Windows) != 0 {
 		return p, fmt.Errorf("service: windows supplied without known_position")
 	}
-	if s.MaxConflicts < 0 || s.MaxCandidates < 0 || s.TimeoutSec < 0 {
+	if s.MaxConflicts < 0 || s.MaxCandidates < 0 || s.TimeoutSec < 0 || s.DeadlineMs < 0 {
 		return p, fmt.Errorf("service: negative budget")
+	}
+	if s.MaxAttempts < 0 || s.MaxAttempts > 100 {
+		return p, fmt.Errorf("service: max_attempts %d out of range [0,100]", s.MaxAttempts)
+	}
+	if s.Priority < -100 || s.Priority > 100 {
+		return p, fmt.Errorf("service: priority %d out of range [-100,100]", s.Priority)
 	}
 	return p, nil
 }
@@ -121,15 +141,38 @@ func (s JobSpec) batchKey() string {
 	return s.Mode + "|" + s.Model + kp
 }
 
-// Job states. A job is queued on submit, running while a worker owns
-// it, and ends done or failed. A daemon killed mid-run leaves the
-// record at queued or running; restart re-enqueues both.
+// Job states — the lifecycle state machine:
+//
+//	queued ──► leased ──► running ──► done
+//	  ▲                     │
+//	  │  retry w/ backoff   ├──► queued      (failed attempt, attempts left)
+//	  └─────────────────────┤
+//	                        └──► quarantined (attempts exhausted or 2 panics)
+//
+// A worker claims a queued job by writing its lease (leased), then
+// starts solving (running). A daemon killed mid-run leaves the record
+// at leased or running with a lease that goes stale; the restart path
+// or any peer daemon's reaper steals it back to queued. done and
+// quarantined are terminal. failed is a legacy terminal state kept so
+// pre-lease job records still load; new runs never produce it.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued      = "queued"
+	StateLeased      = "leased"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateQuarantined = "quarantined"
 )
+
+// PoisonPanics is the quarantine threshold on panicking attempts: a
+// job that panics twice is poison regardless of its attempt budget —
+// crash-looping a dispatcher on it helps nobody.
+const PoisonPanics = 2
+
+// terminal reports whether a state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateQuarantined
+}
 
 // Job is the persisted unit of work — one file in the store per job,
 // rewritten atomically on every state transition.
@@ -142,10 +185,30 @@ type Job struct {
 	Started   time.Time `json:"started,omitempty"`
 	Finished  time.Time `json:"finished,omitempty"`
 	// Attempts counts how often a worker picked the job up; >1 means the
-	// daemon was killed or drained mid-run and the job was re-queued.
-	Attempts int        `json:"attempts,omitempty"`
-	Result   *JobResult `json:"result,omitempty"`
-	Error    string     `json:"error,omitempty"`
+	// job was retried after a failure, or re-queued by a kill or drain.
+	Attempts int `json:"attempts,omitempty"`
+	// NotBefore delays a retried job: the queue will not hand it to a
+	// worker before this instant (jittered exponential backoff). It
+	// rides the record across crashes so a restart honours the backoff.
+	NotBefore time.Time `json:"not_before,omitempty"`
+	// Panics counts attempts that ended in a recovered panic; at
+	// PoisonPanics the job is quarantined regardless of MaxAttempts.
+	Panics int        `json:"panics,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+	// Error is the last attempt's failure (retained in quarantine as the
+	// post-mortem headline; cleared if a later attempt succeeds).
+	Error string `json:"error,omitempty"`
+	// Checkpoint is the partial result of the last failed attempt
+	// (solver effort up to the deadline or error) — attached to
+	// quarantined jobs so the poison report shows how far solving got.
+	Checkpoint *JobResult `json:"checkpoint,omitempty"`
+
+	// gen is the in-process fencing token: bumped on every lease
+	// acquisition and every reaper re-queue (all under the daemon lock).
+	// A worker whose captured gen no longer matches lost its lease while
+	// it was stuck and must discard its outcome. Deliberately not
+	// serialized — cross-process fencing uses the lease file itself.
+	gen int64
 }
 
 // JobResult is the outcome of a finished job. SolveMillis is
@@ -166,12 +229,17 @@ type JobResult struct {
 }
 
 // clone returns a deep-enough copy for handing to HTTP handlers:
-// Result is copied, Spec shares its (immutable after submit) slices.
+// Result/Checkpoint are copied, Spec shares its (immutable after
+// submit) slices.
 func (j *Job) clone() *Job {
 	c := *j
 	if j.Result != nil {
 		r := *j.Result
 		c.Result = &r
+	}
+	if j.Checkpoint != nil {
+		r := *j.Checkpoint
+		c.Checkpoint = &r
 	}
 	return &c
 }

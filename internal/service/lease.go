@@ -1,0 +1,113 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sha3afa/internal/campaign"
+)
+
+// Lease is the ownership record a worker writes before running a job:
+//
+//	<dir>/leases/<id>.json
+//
+// It is the cross-node contract for work-stealing over a shared state
+// directory. A daemon claims a job by writing a lease with its owner
+// id, refreshes Heartbeat while the job runs, and removes the file on
+// completion or re-queue. Any daemon that finds a lease whose
+// heartbeat is older than the lease TTL may steal the job: the steal
+// is an os.Remove of the lease file, and the unlink is the atomic
+// arbiter — exactly one contender succeeds, everyone else sees ENOENT
+// and backs off. The record itself is written with the same
+// atomic-rename discipline as job records (campaign.WriteJSONAtomic),
+// so a readable lease is never torn.
+//
+// The golden round-trip test (lease_test.go) pins this wire format:
+// changing a field name or the timestamp encoding is a cross-node
+// protocol break, not a refactor.
+type Lease struct {
+	JobID   string `json:"job_id"`
+	Owner   string `json:"owner"`
+	Attempt int    `json:"attempt"` // attempt number this lease covers (1-based)
+	// Acquired is when the worker claimed the job; Heartbeat is
+	// refreshed every HeartbeatEvery while the job runs. Both are UTC.
+	Acquired  time.Time `json:"acquired"`
+	Heartbeat time.Time `json:"heartbeat"`
+}
+
+// ownerSeq disambiguates multiple daemons created inside one process
+// (tests, and the chaos harness, run several lives side by side).
+var ownerSeq atomic.Int64
+
+// newOwnerID builds a process-unique owner id. Uniqueness across
+// machines sharing a state directory comes from the pid + start-time
+// component; uniqueness across daemon lives within one process from
+// the sequence counter.
+func newOwnerID() string {
+	return fmt.Sprintf("afad-%d-%x-%d", os.Getpid(), time.Now().UnixNano()&0xffffff, ownerSeq.Add(1))
+}
+
+func (s *Store) leasePath(id string) string {
+	return filepath.Join(s.dir, "leases", id+".json")
+}
+
+// SaveLease persists one lease record atomically (claim and heartbeat
+// share the same write path).
+func (s *Store) SaveLease(l *Lease) error {
+	return campaign.WriteJSONAtomic(s.leasePath(l.JobID), l)
+}
+
+// ReadLease returns the job's lease, or nil when none exists.
+func (s *Store) ReadLease(id string) (*Lease, error) {
+	data, err := os.ReadFile(s.leasePath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("service: lease %s: %w", id, err)
+	}
+	return &l, nil
+}
+
+// RemoveLease unlinks the lease file. The unlink is the atomic steal
+// primitive: when several daemons race to expire the same stale lease,
+// exactly one Remove succeeds and the rest get ENOENT (reported as-is
+// so callers can tell a won steal from a lost one).
+func (s *Store) RemoveLease(id string) error {
+	return os.Remove(s.leasePath(id))
+}
+
+// LoadLeases reads every lease record in the directory. Unparseable
+// files are skipped (a foreign dropping, not a lease — SaveLease output
+// always parses).
+func (s *Store) LoadLeases() ([]*Lease, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "leases"))
+	if err != nil {
+		return nil, err
+	}
+	var leases []*Lease
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, "leases", e.Name()))
+		if err != nil {
+			continue // racing unlink by another daemon
+		}
+		var l Lease
+		if err := json.Unmarshal(data, &l); err != nil || l.JobID == "" {
+			continue
+		}
+		leases = append(leases, &l)
+	}
+	return leases, nil
+}

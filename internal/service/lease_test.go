@@ -1,0 +1,180 @@
+package service
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"sha3afa/internal/keccak"
+)
+
+// TestLeaseGoldenWireFormat pins the on-disk lease format byte for
+// byte. The lease file is the cross-node work-stealing contract for
+// daemons sharing a state directory — possibly different builds of
+// afad — so a change here is a protocol break, not a refactor. If this
+// test fails, you changed the wire format: bump it deliberately and
+// say so in DESIGN.md, do not just update the literal.
+func TestLeaseGoldenWireFormat(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &Lease{
+		JobID:     "j-000042",
+		Owner:     "afad-31337-abc123-7",
+		Attempt:   3,
+		Acquired:  time.Date(2026, 2, 3, 4, 5, 6, 123456789, time.UTC),
+		Heartbeat: time.Date(2026, 2, 3, 4, 5, 7, 500000000, time.UTC),
+	}
+	if err := st.SaveLease(in); err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = `{
+  "job_id": "j-000042",
+  "owner": "afad-31337-abc123-7",
+  "attempt": 3,
+  "acquired": "2026-02-03T04:05:06.123456789Z",
+  "heartbeat": "2026-02-03T04:05:07.5Z"
+}`
+	raw, err := os.ReadFile(st.leasePath("j-000042"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != golden {
+		t.Errorf("lease wire format changed:\n  got  %s\n  want %s", raw, golden)
+	}
+
+	// And the round trip restores every field exactly.
+	out, err := st.ReadLease("j-000042")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil || *out != *in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+// TestLeaseStealArbiter: the unlink is the steal primitive — exactly
+// one of two contenders removing the same lease succeeds, the loser
+// sees ENOENT and must treat the steal as lost.
+func TestLeaseStealArbiter(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Lease{JobID: "j-000001", Owner: "afad-dead", Attempt: 1,
+		Acquired: time.Now().UTC(), Heartbeat: time.Now().UTC().Add(-time.Hour)}
+	if err := st.SaveLease(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RemoveLease("j-000001"); err != nil {
+		t.Fatalf("first steal = %v, want success", err)
+	}
+	if err := st.RemoveLease("j-000001"); !os.IsNotExist(err) {
+		t.Fatalf("second steal = %v, want ENOENT (lost the race)", err)
+	}
+	// ReadLease reports a missing lease as nil, nil — not an error.
+	if got, err := st.ReadLease("j-000001"); err != nil || got != nil {
+		t.Fatalf("ReadLease after steal = %+v, %v, want nil, nil", got, err)
+	}
+}
+
+// TestReaperStealsStaleForeignLease: a job parked on the shared state
+// directory under a dead daemon's stale lease is reaped, adopted and
+// completed by a live daemon that never saw the original submit.
+func TestReaperStealsStaleForeignLease(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the dead peer: a running job whose lease stopped beating.
+	spec := inconsistentSpecKP("steal")
+	orphan := &Job{ID: "j-900001", Spec: spec, State: StateRunning,
+		Submitted: time.Now().UTC(), Started: time.Now().UTC(), Attempts: 1}
+	if err := st.SaveJob(orphan); err != nil {
+		t.Fatal(err)
+	}
+	stale := &Lease{JobID: orphan.ID, Owner: "afad-deadpeer-1", Attempt: 1,
+		Acquired:  time.Now().UTC().Add(-time.Hour),
+		Heartbeat: time.Now().UTC().Add(-time.Hour)}
+	if err := st.SaveLease(stale); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := New(Options{StateDir: dir, Workers: 1,
+		LeaseTTL: 200 * time.Millisecond, HeartbeatEvery: 40 * time.Millisecond,
+		ReapEvery: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Drain()
+
+	// New() itself resumes running jobs with stale leases; either that
+	// path or the periodic reaper must finish the orphan.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if j := d.Job(orphan.ID); j != nil && terminal(j.State) {
+			if j.State != StateDone || j.Result == nil || j.Result.Status != "inconsistent" {
+				t.Fatalf("adopted job = %+v, want done/inconsistent", j)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("orphaned job never adopted: %+v", d.Job(orphan.ID))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The stale lease is gone and no fresh one remains.
+	if l, err := st.ReadLease(orphan.ID); err != nil || l != nil {
+		t.Fatalf("lease after adoption = %+v, %v, want nil, nil", l, err)
+	}
+}
+
+// TestReaperAdoptMidRun: the stale foreign lease appears while the
+// daemon is already running (not at startup), so only the janitor's
+// reap pass can find it.
+func TestReaperAdoptMidRun(t *testing.T) {
+	dir := t.TempDir()
+	d, err := New(Options{StateDir: dir, Workers: 1,
+		LeaseTTL: 200 * time.Millisecond, HeartbeatEvery: 40 * time.Millisecond,
+		ReapEvery: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Drain()
+
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := &Job{ID: "j-900002", Spec: inconsistentSpecKP("midrun"), State: StateLeased,
+		Submitted: time.Now().UTC(), Attempts: 1}
+	if err := st.SaveJob(orphan); err != nil {
+		t.Fatal(err)
+	}
+	stale := &Lease{JobID: orphan.ID, Owner: "afad-deadpeer-2", Attempt: 1,
+		Acquired:  time.Now().UTC().Add(-time.Minute),
+		Heartbeat: time.Now().UTC().Add(-time.Minute)}
+	if err := st.SaveLease(stale); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if j := d.Job(orphan.ID); j != nil && j.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mid-run orphan never adopted: %+v", d.Job(orphan.ID))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// inconsistentSpecKP is the cheap refutable job shape the lease tests
+// use (known-position refutations solve in milliseconds).
+func inconsistentSpecKP(salt string) JobSpec {
+	return inconsistentSpec(keccak.SHA3_224, "1-bit", true, salt)
+}

@@ -5,10 +5,11 @@ import (
 	"sync"
 )
 
-// Errors the queue reports to the HTTP layer. Full maps to 429
+// Errors the queue reports to the HTTP layer. Full and shed map to 429
 // (backpressure: retry later), closed to 503 (the daemon is draining).
 var (
 	ErrQueueFull   = errors.New("service: queue full")
+	ErrQueueShed   = errors.New("service: queue above shed watermark, low-priority work shed")
 	ErrQueueClosed = errors.New("service: queue closed")
 )
 
@@ -21,20 +22,26 @@ type queue struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	max   int
+	shed  int // high watermark: above it, only Priority > 0 submits are admitted
 	byKey map[string][]*Job
 	order []string // keys with pending jobs, arrival order
 	n     int
 	done  bool
 }
 
-func newQueue(max int) *queue {
-	q := &queue{max: max, byKey: make(map[string][]*Job)}
+func newQueue(max, shed int) *queue {
+	if shed < 1 || shed > max {
+		shed = max
+	}
+	q := &queue{max: max, shed: shed, byKey: make(map[string][]*Job)}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// push enqueues one job, failing fast when the queue is at depth
-// (backpressure) or closed (drain).
+// push enqueues one newly submitted job, failing fast when the queue
+// is at depth (backpressure), above its shed watermark for the job's
+// priority (overload shedding: lowest-priority work is refused first,
+// before memory grows unbounded), or closed (drain).
 func (q *queue) push(j *Job) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -44,6 +51,29 @@ func (q *queue) push(j *Job) error {
 	if q.n >= q.max {
 		return ErrQueueFull
 	}
+	if q.n >= q.shed && j.Spec.Priority <= 0 {
+		return ErrQueueShed
+	}
+	q.add(j)
+	return nil
+}
+
+// requeue enqueues already-accepted work (restart resume, lease steal,
+// retry release). Unlike push it ignores the depth bound and the shed
+// watermark — accepted jobs were admitted once and must never be lost
+// to backpressure — but still refuses when closed: a draining daemon
+// leaves the job persisted as queued for the next start.
+func (q *queue) requeue(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done {
+		return ErrQueueClosed
+	}
+	q.add(j)
+	return nil
+}
+
+func (q *queue) add(j *Job) {
 	key := j.Spec.batchKey()
 	if len(q.byKey[key]) == 0 {
 		q.order = append(q.order, key)
@@ -51,7 +81,6 @@ func (q *queue) push(j *Job) error {
 	q.byKey[key] = append(q.byKey[key], j)
 	q.n++
 	q.cond.Signal()
-	return nil
 }
 
 // popBatch blocks until jobs are available and returns up to maxBatch

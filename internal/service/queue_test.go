@@ -13,7 +13,7 @@ func jobWithKey(id, mode, model string, kp bool) *Job {
 // TestQueueBatchGrouping: jobs sharing a batch key come out together,
 // in one popBatch, regardless of submit interleaving.
 func TestQueueBatchGrouping(t *testing.T) {
-	q := newQueue(16)
+	q := newQueue(16, 0)
 	for _, j := range []*Job{
 		jobWithKey("j-1", "SHA3-224", "byte", false),
 		jobWithKey("j-2", "SHA3-256", "byte", false),
@@ -48,7 +48,7 @@ func TestQueueBatchGrouping(t *testing.T) {
 // TestQueueFairness: a key with a deep backlog goes to the back of the
 // line after each pop, so other keys are served in between.
 func TestQueueFairness(t *testing.T) {
-	q := newQueue(32)
+	q := newQueue(32, 0)
 	for i := 0; i < 6; i++ {
 		q.push(jobWithKey("a", "SHA3-224", "byte", false))
 	}
@@ -67,7 +67,7 @@ func TestQueueFairness(t *testing.T) {
 // TestQueueFullAndClosed: depth bound gives ErrQueueFull, close gives
 // ErrQueueClosed and wakes blocked poppers with ok=false.
 func TestQueueFullAndClosed(t *testing.T) {
-	q := newQueue(2)
+	q := newQueue(2, 0)
 	q.push(jobWithKey("j-1", "SHA3-224", "byte", false))
 	q.push(jobWithKey("j-2", "SHA3-224", "byte", false))
 	if err := q.push(jobWithKey("j-3", "SHA3-224", "byte", false)); !errors.Is(err, ErrQueueFull) {
@@ -85,10 +85,65 @@ func TestQueueFullAndClosed(t *testing.T) {
 	}
 }
 
+// TestQueueShed: above the shed watermark, Priority <= 0 submits are
+// refused with ErrQueueShed while Priority > 0 is still admitted up to
+// the hard depth bound — overload drops the least important work first.
+func TestQueueShed(t *testing.T) {
+	q := newQueue(4, 2)
+	q.push(jobWithKey("j-1", "SHA3-224", "byte", false))
+	q.push(jobWithKey("j-2", "SHA3-224", "byte", false))
+
+	low := jobWithKey("j-3", "SHA3-224", "byte", false)
+	if err := q.push(low); !errors.Is(err, ErrQueueShed) {
+		t.Fatalf("low-priority push above watermark = %v, want ErrQueueShed", err)
+	}
+	high := jobWithKey("j-4", "SHA3-224", "byte", false)
+	high.Spec.Priority = 1
+	if err := q.push(high); err != nil {
+		t.Fatalf("high-priority push above watermark = %v, want accepted", err)
+	}
+	neg := jobWithKey("j-5", "SHA3-224", "byte", false)
+	neg.Spec.Priority = -5
+	if err := q.push(neg); !errors.Is(err, ErrQueueShed) {
+		t.Fatalf("negative-priority push above watermark = %v, want ErrQueueShed", err)
+	}
+	// The hard bound still applies to high priority.
+	for i := 0; i < 2; i++ {
+		j := jobWithKey("j-x", "SHA3-224", "byte", false)
+		j.Spec.Priority = 9
+		if err := q.push(j); i == 0 && err != nil {
+			t.Fatalf("high-priority push at depth 3/4 = %v", err)
+		} else if i == 1 && !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("high-priority push at full depth = %v, want ErrQueueFull", err)
+		}
+	}
+}
+
+// TestQueueRequeueBypassesWatermark: requeue is for already-accepted
+// work (restart resume, retry release, lease steals) — it ignores both
+// the shed watermark and the depth bound, but still refuses once the
+// queue is closed so a draining daemon leaves jobs persisted.
+func TestQueueRequeueBypassesWatermark(t *testing.T) {
+	q := newQueue(2, 1)
+	q.push(jobWithKey("j-1", "SHA3-224", "byte", false))
+	for i := 0; i < 3; i++ {
+		if err := q.requeue(jobWithKey("j-r", "SHA3-224", "byte", false)); err != nil {
+			t.Fatalf("requeue %d over depth/watermark = %v, want accepted", i, err)
+		}
+	}
+	if q.len() != 4 {
+		t.Fatalf("queue len = %d, want 4", q.len())
+	}
+	q.close()
+	if err := q.requeue(jobWithKey("j-z", "SHA3-224", "byte", false)); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("requeue after close = %v, want ErrQueueClosed", err)
+	}
+}
+
 // TestQueueCloseWakesWaiter: a popper blocked on an empty queue returns
 // promptly when the queue closes (the drain path).
 func TestQueueCloseWakesWaiter(t *testing.T) {
-	q := newQueue(2)
+	q := newQueue(2, 0)
 	done := make(chan bool)
 	go func() {
 		_, ok := q.popBatch(1)

@@ -30,11 +30,13 @@ func newRateLimiter(rate, burst float64) *rateLimiter {
 	return &rateLimiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
 }
 
-// allow consumes one token from the client's bucket, reporting whether
-// one was available.
-func (rl *rateLimiter) allow(client string) bool {
+// allow consumes one token from the client's bucket. When denied, the
+// returned duration is the time until the bucket refills the missing
+// fraction of a token — the exact Retry-After for this client, derived
+// from its own refill schedule instead of a hardcoded guess.
+func (rl *rateLimiter) allow(client string) (bool, time.Duration) {
 	if rl.rate <= 0 {
-		return true
+		return true, 0
 	}
 	now := time.Now()
 	rl.mu.Lock()
@@ -53,10 +55,11 @@ func (rl *rateLimiter) allow(client string) bool {
 		rl.prune(client)
 	}
 	if b.tokens < 1 {
-		return false
+		wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+		return false, wait
 	}
 	b.tokens--
-	return true
+	return true, 0
 }
 
 // prune drops full buckets (indistinguishable from fresh ones) except

@@ -1,6 +1,15 @@
 package service
 
-import "testing"
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func allowed(rl *rateLimiter, client string) bool {
+	ok, _ := rl.allow(client)
+	return ok
+}
 
 // TestRateLimitBurstAndIsolation: each client gets its own bucket of
 // burst tokens; exhausting one client's bucket does not touch another.
@@ -8,14 +17,14 @@ func TestRateLimitBurstAndIsolation(t *testing.T) {
 	// Refill rate so slow it contributes nothing within the test.
 	rl := newRateLimiter(1e-9, 3)
 	for i := 0; i < 3; i++ {
-		if !rl.allow("alice") {
+		if !allowed(rl, "alice") {
 			t.Fatalf("alice submit %d denied within burst", i)
 		}
 	}
-	if rl.allow("alice") {
+	if allowed(rl, "alice") {
 		t.Fatal("alice allowed past burst")
 	}
-	if !rl.allow("bob") {
+	if !allowed(rl, "bob") {
 		t.Fatal("bob denied by alice's exhausted bucket")
 	}
 }
@@ -24,9 +33,30 @@ func TestRateLimitBurstAndIsolation(t *testing.T) {
 func TestRateLimitDisabled(t *testing.T) {
 	rl := newRateLimiter(0, 0)
 	for i := 0; i < 100; i++ {
-		if !rl.allow("anyone") {
+		if !allowed(rl, "anyone") {
 			t.Fatal("zero-rate limiter denied a submit")
 		}
+	}
+}
+
+// TestRateLimitRetryAfter: a denial reports the client's own
+// token-refill wait — with rate 2/s and an empty bucket, refilling the
+// missing token takes about half a second, not the old hardcoded 1.
+func TestRateLimitRetryAfter(t *testing.T) {
+	rl := newRateLimiter(2, 1)
+	if !allowed(rl, "c") {
+		t.Fatal("first submit within burst denied")
+	}
+	ok, wait := rl.allow("c")
+	if ok {
+		t.Fatal("second immediate submit allowed past burst 1")
+	}
+	if wait <= 0 || wait > 600*time.Millisecond {
+		t.Fatalf("retry-after = %v, want ~500ms (refill of 1 token at 2/s)", wait)
+	}
+	time.Sleep(wait + 50*time.Millisecond)
+	if !allowed(rl, "c") {
+		t.Fatal("submit denied after waiting the advertised retry-after")
 	}
 }
 
@@ -44,6 +74,34 @@ func TestRateLimitPrune(t *testing.T) {
 	rl.mu.Unlock()
 	if n > 1100 {
 		t.Fatalf("bucket map grew to %d entries, prune is not bounding it", n)
+	}
+}
+
+// TestRateLimitConcurrentChurn drives the allow+prune path from many
+// goroutines at once — the eviction loop mutates the map while other
+// clients are mid-allow, which the race detector checks for us. Each
+// goroutine also hammers one stable client to verify a bucket can be
+// pruned out from under a client and recreated without losing safety.
+func TestRateLimitConcurrentChurn(t *testing.T) {
+	rl := newRateLimiter(1e9, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				rl.allow(fmtClient(g*2000 + i))
+				rl.allow("stable")
+			}
+		}()
+	}
+	wg.Wait()
+	rl.mu.Lock()
+	n := len(rl.buckets)
+	rl.mu.Unlock()
+	if n > 2048 {
+		t.Fatalf("bucket map grew to %d entries under concurrent churn", n)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -15,11 +16,15 @@ import (
 //	GET  /v1/jobs             list all jobs (submission order)
 //	GET  /v1/jobs/{id}        one job snapshot (poll for progress)
 //	GET  /v1/jobs/{id}/events the job's JSONL event tail
+//	GET  /v1/quarantine       the poison jobs (with last error + checkpoint)
 //	GET  /healthz             liveness + drain state
 //	     /debug/...           obs metrics/trace/pprof (when a Recorder is set)
 //
-// Status mapping: 400 invalid spec, 429 rate-limited or queue full
-// (with Retry-After), 503 draining, 404 unknown job.
+// Status mapping: 400 invalid spec, 429 rate-limited / queue full /
+// shed, 503 draining, 404 unknown job. Every 429 and 503 carries a
+// Retry-After derived from actual daemon state: the client's own
+// token-refill time, the measured queue drain rate, or the remaining
+// drain grace — never a hardcoded guess.
 type Server struct {
 	d    *Daemon
 	mux  *http.ServeMux
@@ -34,6 +39,7 @@ func NewServer(d *Daemon) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /v1/quarantine", s.quarantine)
 	s.mux.HandleFunc("GET /healthz", s.health)
 	if d.opts.Recorder != nil {
 		s.mux.Handle("/debug/", d.opts.Recorder.DebugMux())
@@ -78,14 +84,25 @@ func clientOf(r *http.Request) string {
 	return host
 }
 
+// retrySeconds formats a wait as a Retry-After value: whole seconds,
+// rounded up, at least 1 (the header has no sub-second resolution).
+func retrySeconds(wait time.Duration) string {
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	client := clientOf(r)
 	if s.d.Draining() {
+		w.Header().Set("Retry-After", retrySeconds(s.d.RetryAfterDrain()))
 		writeErr(w, http.StatusServiceUnavailable, "daemon is draining")
 		return
 	}
-	if !s.d.Allow(client) {
-		w.Header().Set("Retry-After", "1")
+	if ok, wait := s.d.Allow(client); !ok {
+		w.Header().Set("Retry-After", retrySeconds(wait))
 		writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")
 		return
 	}
@@ -99,9 +116,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job)
 	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", retrySeconds(s.d.RetryAfterDrain()))
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "5")
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueShed):
+		w.Header().Set("Retry-After", retrySeconds(s.d.RetryAfterQueue()))
 		writeErr(w, http.StatusTooManyRequests, err.Error())
 	default:
 		writeErr(w, http.StatusBadRequest, err.Error())
@@ -110,6 +128,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.d.Jobs())
+}
+
+func (s *Server) quarantine(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.d.Quarantined())
 }
 
 func (s *Server) get(w http.ResponseWriter, r *http.Request) {

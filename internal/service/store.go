@@ -11,12 +11,14 @@ import (
 	"sha3afa/internal/campaign"
 )
 
-// Store persists jobs and their event tails under one state directory:
+// Store persists jobs, their event tails and their leases under one
+// state directory:
 //
 //	<dir>/jobs/<id>.json     job record, atomic-rename on every transition
 //	<dir>/events/<id>.jsonl  append-only obs event tail of the job's runs
+//	<dir>/leases/<id>.json   worker ownership record (lease.go)
 //
-// The job files reuse the campaign checkpoint discipline
+// The job and lease files reuse the campaign checkpoint discipline
 // (campaign.WriteJSONAtomic): a crash mid-write never leaves a torn
 // record, so the restart path can trust every readable file.
 type Store struct {
@@ -25,7 +27,7 @@ type Store struct {
 
 // NewStore opens (creating if needed) the state directory.
 func NewStore(dir string) (*Store, error) {
-	for _, sub := range []string{"jobs", "events"} {
+	for _, sub := range []string{"jobs", "events", "leases"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, err
 		}
@@ -51,6 +53,45 @@ func (s *Store) SaveJob(j *Job) error {
 // rejects the job after the record was already written).
 func (s *Store) DeleteJob(id string) error {
 	return os.Remove(s.jobPath(id))
+}
+
+// ReadJob loads one job record, or nil when none exists (the steal
+// path re-reads the record from disk rather than trusting a possibly
+// stale in-memory snapshot from another daemon's lifetime).
+func (s *Store) ReadJob(id string) (*Job, error) {
+	data, err := os.ReadFile(s.jobPath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("service: job %s: %w", id, err)
+	}
+	return &j, nil
+}
+
+// RemoveJob deletes a job's record and event tail, returning the bytes
+// reclaimed — the unit of the age-based GC that keeps a long-lived
+// state directory from accumulating every terminal job ever run.
+func (s *Store) RemoveJob(id string) (int64, error) {
+	var reclaimed int64
+	for _, path := range []string{s.jobPath(id), s.EventsPath(id)} {
+		fi, err := os.Stat(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return reclaimed, err
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return reclaimed, err
+		}
+		reclaimed += fi.Size()
+	}
+	return reclaimed, nil
 }
 
 // LoadJobs reads every job record, sorted by ID (submission order —

@@ -45,6 +45,41 @@ func TestStoreRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStoreRemoveJob: removal reclaims both the record and the event
+// tail, reports their summed size, and is idempotent (a second remove
+// reclaims nothing and does not error).
+func TestStoreRemoveJob(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Job{ID: "j-000001", State: StateDone, Submitted: time.Unix(1, 0).UTC()}
+	if err := st.SaveJob(j); err != nil {
+		t.Fatal(err)
+	}
+	f, err := st.OpenEvents(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{\"ev\":\"x\"}\n")
+	f.Close()
+
+	recSize, _ := os.Stat(st.jobPath(j.ID))
+	evSize, _ := os.Stat(st.EventsPath(j.ID))
+	want := recSize.Size() + evSize.Size()
+
+	n, err := st.RemoveJob(j.ID)
+	if err != nil || n != want {
+		t.Fatalf("RemoveJob = %d, %v; want %d bytes reclaimed", n, err, want)
+	}
+	if got, err := st.ReadJob(j.ID); err != nil || got != nil {
+		t.Fatalf("ReadJob after remove = %+v, %v", got, err)
+	}
+	if n, err := st.RemoveJob(j.ID); err != nil || n != 0 {
+		t.Fatalf("second RemoveJob = %d, %v; want 0, nil", n, err)
+	}
+}
+
 // TestStoreEvents: the event tail appends across opens and reads back
 // verbatim; a job that never started has an empty tail, not an error.
 func TestStoreEvents(t *testing.T) {
