@@ -21,8 +21,10 @@
 //
 // Observability (see internal/obs): -trace out.jsonl streams every
 // event (solver progress, portfolio wins, attack phase spans, campaign
-// run records) as JSONL; -progress prints a live work ticker to
-// stderr; -debug-addr :6060 serves /debug/metrics, /debug/trace and
+// run records) as JSONL; -metrics out.prom dumps the run's counters,
+// gauges and phase histograms as Prometheus text exposition at exit
+// ("-" = stdout); -progress prints a live work ticker to stderr;
+// -debug-addr :6060 serves /debug/metrics, /debug/trace and
 // /debug/pprof/* while the campaign runs.
 package main
 
@@ -70,6 +72,7 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
 	traceFile := flag.String("trace", "", "stream observability events to this JSONL file")
+	metricsFile := flag.String("metrics", "", "dump Prometheus text exposition to this file at exit (\"-\" = stdout)")
 	progress := flag.Bool("progress", false, "print a live progress ticker to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/trace and /debug/pprof on this address (e.g. :6060)")
 	verbose := flag.Bool("v", false, "print per-solver statistics")
@@ -97,7 +100,7 @@ func run() int {
 	// Observability: one shared recorder feeds the JSONL sink, the live
 	// ticker and the debug endpoint; every campaign run in this process
 	// emits through it (campaign.SetRecorder).
-	if *traceFile != "" || *progress || *debugAddr != "" {
+	if *traceFile != "" || *metricsFile != "" || *progress || *debugAddr != "" {
 		var sink io.Writer
 		if *traceFile != "" {
 			tf, err := os.Create(*traceFile)
@@ -115,6 +118,14 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "trace sink error:", err)
 			}
 		}()
+		if *metricsFile != "" {
+			// Dumped on the way out so the registry holds the whole run.
+			defer func() {
+				if err := dumpMetrics(rec.Metrics(), *metricsFile); err != nil {
+					fmt.Fprintln(os.Stderr, "metrics dump error:", err)
+				}
+			}()
+		}
 		stopDebug, err := rec.MountDebug(*debugAddr, os.Stderr, "")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -271,4 +282,22 @@ func runExperiment(name string, seeds int, checkpoint string, resume bool) int {
 		return 2
 	}
 	return 0
+}
+
+// dumpMetrics writes the registry's Prometheus text exposition to path
+// ("-" = stdout), giving one-shot runs the same scrape surface afad
+// serves at GET /metrics.
+func dumpMetrics(m *obs.Metrics, path string) error {
+	if path == "-" {
+		return m.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

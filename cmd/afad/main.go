@@ -15,9 +15,18 @@
 //	GET  /v1/jobs             list jobs
 //	GET  /v1/jobs/{id}        poll one job
 //	GET  /v1/jobs/{id}/events JSONL event tail
+//	GET  /v1/jobs/{id}/flight flight record of the last hard-failing attempt
 //	GET  /v1/quarantine       poison jobs (exhausted retries / repeated panics)
+//	GET  /metrics             Prometheus text exposition (histograms included)
 //	GET  /healthz             liveness + drain state
-//	     /debug/...           metrics/trace/pprof (with -debug)
+//	     /debug/...           metrics/trace/pprof (always on)
+//
+// Every job carries a trace ID — honoured from the client's
+// X-Afa-Trace-Id header or minted at submit — that is stamped on every
+// observability event the job generates (queue admission, lease
+// acquire/steal, each attempt, template encode, solver spans, terminal
+// settle, GC), so one grep over the -trace sinks of every daemon that
+// ever touched the job reconstructs its full lifecycle.
 //
 // Execution is fault-tolerant: every running job is covered by a lease
 // on the state directory (-lease-ttl, heartbeated at a third of that),
@@ -77,7 +86,7 @@ func run() int {
 	shedWatermark := flag.Int("shed-watermark", 0, "queue depth above which priority<=0 submits are shed (0 = 3/4 of queue-depth)")
 	noBatch := flag.Bool("no-batching", false, "encode every job from scratch (template batching off)")
 	traceFile := flag.String("trace", "", "stream daemon observability events to this JSONL file")
-	debug := flag.Bool("debug", false, "serve /debug/metrics, /debug/trace and /debug/pprof")
+	flightCap := flag.Int("flight-cap", 256, "per-attempt flight-recorder ring size (<0 disables flight records)")
 	chaos := flag.Float64("chaos", 0, "DEV ONLY: inject faults (panics, hangs, dropped heartbeats) into this fraction of first attempts")
 	chaosSeed := flag.Int64("chaos-seed", 1, "with -chaos: deterministic injection seed")
 
@@ -94,27 +103,25 @@ func run() int {
 		return genJob(*modeName, *modelName, *faults, *seed, *knownPos, *maxCandidates)
 	}
 
-	// The daemon-level recorder feeds the JSONL sink and the debug
-	// endpoint; per-job solver events go to each job's own tail.
-	var rec *obs.Trace
-	if *traceFile != "" || *debug {
-		var sink io.Writer
-		if *traceFile != "" {
-			tf, err := os.Create(*traceFile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 2
-			}
-			defer tf.Close()
-			sink = tf
+	// The daemon always runs with a recorder so GET /metrics (and the
+	// queue-wait/attempt histograms behind it) is live out of the box;
+	// -trace adds a JSONL sink and -debug the /debug/ endpoints on top.
+	var sink io.Writer
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
 		}
-		rec = obs.NewTrace(sink, 4096)
-		defer func() {
-			if err := rec.Err(); err != nil {
-				fmt.Fprintln(os.Stderr, "trace sink error:", err)
-			}
-		}()
+		defer tf.Close()
+		sink = tf
 	}
+	rec := obs.NewTrace(sink, 4096)
+	defer func() {
+		if err := rec.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace sink error:", err)
+		}
+	}()
 	opts := service.Options{
 		StateDir:        *state,
 		Workers:         *workers,
@@ -131,6 +138,7 @@ func run() int {
 		ShedWatermark:   *shedWatermark,
 		DisableBatching: *noBatch,
 		Recorder:        rec,
+		FlightCap:       *flightCap,
 	}
 	if *chaos > 0 {
 		fmt.Fprintf(os.Stderr, "afad: CHAOS MODE: injecting faults into %.0f%% of first attempts (seed %d)\n", *chaos*100, *chaosSeed)

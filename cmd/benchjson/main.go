@@ -19,7 +19,10 @@
 // attached, the comparison is written to FILE (BENCH_obs.json), and
 // the process exits non-zero when the attached run is more than
 // -max-overhead percent slower — the CI tripwire for internal/obs's
-// "disabled path costs one branch" contract.
+// "disabled path costs one branch" contract. Adding -service-obs
+// extends the guard to the daemon path: the 32-job HTTP burst runs
+// with the full recorder (trace IDs, histograms, per-job tails) on and
+// off, and the median pair overhead is held to the same budget.
 //
 // -service FILE switches to the daemon throughput benchmark: a 32-job
 // burst through the full HTTP service stack (internal/service), run
@@ -74,13 +77,14 @@ func main() {
 	out := flag.String("out", "BENCH_solver.json", "output JSON path")
 	obsOut := flag.String("obs", "", "write a recorder-on vs recorder-off overhead comparison to this JSON path and exit")
 	maxOverhead := flag.Float64("max-overhead", 5, "with -obs: exit non-zero when recorder overhead exceeds this percentage")
+	serviceObs := flag.Bool("service-obs", false, "with -obs: also measure daemon recorder overhead (32-job HTTP burst, histograms+trace on vs off) under the same gate")
 	serviceOut := flag.String("service", "", "write a daemon throughput benchmark (32-job burst, batched vs unbatched) to this JSON path and exit")
 	serviceBaseline := flag.String("service-baseline", "", "with -service: fail when batched jobs/s regresses more than -max-regress vs this committed BENCH_service.json")
 	maxRegress := flag.Float64("max-regress", 5, "with -service-baseline: allowed throughput regression percentage")
 	flag.Parse()
 
 	if *obsOut != "" {
-		os.Exit(runObsComparison(*obsOut, *short, *maxOverhead))
+		os.Exit(runObsComparison(*obsOut, *short, *maxOverhead, *serviceObs))
 	}
 	if *serviceOut != "" {
 		os.Exit(runServiceBench(*serviceOut, *serviceBaseline, *maxRegress))
@@ -152,17 +156,20 @@ func main() {
 }
 
 // obsFile is the BENCH_obs.json schema: one workload solved twice,
-// with the recorder detached and attached.
+// with the recorder detached and attached. The optional service
+// section (-service-obs) runs the same comparison over the daemon's
+// HTTP burst so the tracing/histogram path is gated too.
 type obsFile struct {
-	Generated      string  `json:"generated"`
-	GoVersion      string  `json:"go_version"`
-	NumCPU         int     `json:"num_cpu"`
-	Short          bool    `json:"short"`
-	Workload       string  `json:"workload"`
-	RecorderOffNs  float64 `json:"recorder_off_ns"`
-	RecorderOnNs   float64 `json:"recorder_on_ns"`
-	OverheadPct    float64 `json:"overhead_pct"`
-	MaxOverheadPct float64 `json:"max_overhead_pct"`
+	Generated      string          `json:"generated"`
+	GoVersion      string          `json:"go_version"`
+	NumCPU         int             `json:"num_cpu"`
+	Short          bool            `json:"short"`
+	Workload       string          `json:"workload"`
+	RecorderOffNs  float64         `json:"recorder_off_ns"`
+	RecorderOnNs   float64         `json:"recorder_on_ns"`
+	OverheadPct    float64         `json:"overhead_pct"`
+	MaxOverheadPct float64         `json:"max_overhead_pct"`
+	Service        *obsServiceFile `json:"service,omitempty"`
 }
 
 // runObsComparison measures the observability overhead: the same
@@ -171,7 +178,7 @@ type obsFile struct {
 // configuration that stays I/O-free). Variants run as adjacent
 // off/on pairs; the gate compares the median per-pair ratio while
 // recorder_{off,on}_ns record the per-variant means.
-func runObsComparison(out string, short bool, maxPct float64) int {
+func runObsComparison(out string, short bool, maxPct float64, withService bool) int {
 	workload := "SolveAttackInstance"
 	f := attackFormula(8)
 	want := sat.Sat
@@ -232,6 +239,14 @@ func runObsComparison(out string, short bool, maxPct float64) int {
 		OverheadPct:    overhead,
 		MaxOverheadPct: maxPct,
 	}
+	if withService {
+		svc, err := runServiceObs()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		file.Service = svc
+	}
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -247,6 +262,15 @@ func runObsComparison(out string, short bool, maxPct float64) int {
 	if overhead > maxPct {
 		fmt.Fprintf(os.Stderr, "observability overhead %.2f%% exceeds the %.0f%% budget\n", overhead, maxPct)
 		return 1
+	}
+	if file.Service != nil {
+		fmt.Printf("  service burst (%d jobs): off=%.0fms on=%.0fms overhead=%+.2f%%\n",
+			file.Service.Jobs, file.Service.RecorderOffMs, file.Service.RecorderOnMs, file.Service.OverheadPct)
+		if file.Service.OverheadPct > maxPct {
+			fmt.Fprintf(os.Stderr, "service observability overhead %.2f%% exceeds the %.0f%% budget\n",
+				file.Service.OverheadPct, maxPct)
+			return 1
+		}
 	}
 	return 0
 }

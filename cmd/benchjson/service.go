@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
 	"sha3afa/internal/service"
 )
 
@@ -68,8 +70,9 @@ func burstSpecs(n int) []service.JobSpec {
 }
 
 // runBurst pushes the whole burst through a fresh daemon over HTTP and
-// reports wall-clock plus per-job latencies.
-func runBurst(specs []service.JobSpec, disableBatching bool) (serviceStats, error) {
+// reports wall-clock plus per-job latencies. A non-nil rec attaches
+// the full observability stack (trace IDs, histograms, JSONL sink).
+func runBurst(specs []service.JobSpec, disableBatching bool, rec *obs.Trace) (serviceStats, error) {
 	var st serviceStats
 	dir, err := os.MkdirTemp("", "benchsvc")
 	if err != nil {
@@ -81,6 +84,7 @@ func runBurst(specs []service.JobSpec, disableBatching bool) (serviceStats, erro
 		Workers:         1,
 		QueueDepth:      len(specs) + 1,
 		DisableBatching: disableBatching,
+		Recorder:        rec,
 	})
 	if err != nil {
 		return st, err
@@ -152,6 +156,51 @@ func runBurst(specs []service.JobSpec, disableBatching bool) (serviceStats, erro
 	return st, nil
 }
 
+// obsServiceFile is the optional service section of BENCH_obs.json:
+// the 32-job burst run with the daemon recorder off and on.
+type obsServiceFile struct {
+	Jobs          int     `json:"jobs"`
+	RecorderOffMs float64 `json:"recorder_off_ms"`
+	RecorderOnMs  float64 `json:"recorder_on_ms"`
+	OverheadPct   float64 `json:"overhead_pct"`
+}
+
+// runServiceObs measures what the full observability stack costs on
+// the daemon's submit-to-done path: the batched burst with no recorder
+// versus with an obs.Trace whose sink is io.Discard (trace-ID tagging,
+// per-event fan-out to three recorders, histogram observes, JSONL
+// marshalling — everything but real disk I/O). Adjacent off/on pairs
+// and a median ratio, for the same reasons as the solver comparison.
+func runServiceObs() (*obsServiceFile, error) {
+	specs := burstSpecs(32)
+	const reps = 3
+	var offTotal, onTotal float64
+	ratios := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		off, err := runBurst(specs, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "service-obs rep %d: recorder-off %.0fms\n", rep+1, off.TotalMs)
+		on, err := runBurst(specs, false, obs.NewTrace(io.Discard, 4096))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "service-obs rep %d: recorder-on  %.0fms (pair ratio %+.2f%%)\n",
+			rep+1, on.TotalMs, 100*(on.TotalMs-off.TotalMs)/off.TotalMs)
+		offTotal += off.TotalMs
+		onTotal += on.TotalMs
+		ratios = append(ratios, on.TotalMs/off.TotalMs)
+	}
+	sort.Float64s(ratios)
+	return &obsServiceFile{
+		Jobs:          len(specs),
+		RecorderOffMs: offTotal / reps,
+		RecorderOnMs:  onTotal / reps,
+		OverheadPct:   100 * (ratios[len(ratios)/2] - 1),
+	}, nil
+}
+
 // runServiceBench measures the 32-job burst with batching on and off
 // and writes BENCH_service.json. With a baseline file, the batched
 // throughput is gated: a regression beyond maxRegress percent fails
@@ -160,7 +209,7 @@ func runBurst(specs []service.JobSpec, disableBatching bool) (serviceStats, erro
 func runServiceBench(out, baseline string, maxRegress float64) int {
 	specs := burstSpecs(32)
 	fmt.Fprintln(os.Stderr, "service burst: 32 jobs, batching off (per-job encode) ...")
-	unbatched, err := runBurst(specs, true)
+	unbatched, err := runBurst(specs, true, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
@@ -168,7 +217,7 @@ func runServiceBench(out, baseline string, maxRegress float64) int {
 	fmt.Fprintf(os.Stderr, "  total %.0fms, %.2f jobs/s, p50 %.0fms p95 %.0fms\n",
 		unbatched.TotalMs, unbatched.JobsPerSec, unbatched.P50Ms, unbatched.P95Ms)
 	fmt.Fprintln(os.Stderr, "service burst: 32 jobs, batching on (shared templates) ...")
-	batched, err := runBurst(specs, false)
+	batched, err := runBurst(specs, false, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

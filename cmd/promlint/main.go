@@ -1,0 +1,368 @@
+// Command promlint validates a Prometheus text-exposition (0.0.4)
+// dump the way promtool check metrics would, without needing promtool
+// in the image. It is the CI check behind afad's GET /metrics: curl
+// the endpoint to a file, run promlint over it, and a malformed
+// exposition — bad metric name, broken label escape, duplicate
+// series, non-cumulative histogram buckets, a histogram missing its
+// +Inf bucket, _count or _sum — fails the build.
+//
+// Usage:
+//
+//	promlint metrics.txt
+//	curl -s localhost:8347/metrics | promlint -
+//
+// Exit status: 0 clean, 1 violations (listed one per line on stderr),
+// 2 usage/IO error.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: promlint <file|->")
+		os.Exit(2)
+	}
+	var r io.Reader = os.Stdin
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	violations, err := lint(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// sample is one parsed exposition line.
+type sample struct {
+	line   int
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// lint parses the exposition and returns every violation found. A
+// non-nil error is an I/O failure, not a lint finding.
+func lint(r io.Reader) ([]string, error) {
+	var violations []string
+	bad := func(line int, format string, args ...any) {
+		violations = append(violations, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	types := map[string]string{} // family name -> declared type
+	seen := map[string]int{}     // series key -> first line
+	var samples []sample
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					bad(n, "malformed TYPE line: %q", line)
+					continue
+				}
+				name, typ := fields[2], fields[3]
+				if !nameRe.MatchString(name) {
+					bad(n, "TYPE for invalid metric name %q", name)
+				}
+				if !validTypes[typ] {
+					bad(n, "unknown metric type %q", typ)
+				}
+				if prev, dup := types[name]; dup {
+					bad(n, "duplicate TYPE for %q (already %s)", name, prev)
+				}
+				types[name] = typ
+			}
+			// HELP and free comments pass through unchecked.
+			continue
+		}
+		s, perr := parseSample(line)
+		if perr != nil {
+			bad(n, "%v", perr)
+			continue
+		}
+		s.line = n
+		if !nameRe.MatchString(s.name) {
+			bad(n, "invalid metric name %q", s.name)
+		}
+		for k := range s.labels {
+			if !labelRe.MatchString(k) {
+				bad(n, "invalid label name %q", k)
+			}
+		}
+		key := seriesKey(s)
+		if first, dup := seen[key]; dup {
+			bad(n, "duplicate series %s (first at line %d)", key, first)
+		} else {
+			seen[key] = n
+		}
+		if familyOf(s.name, types) == "" {
+			if _, declared := types[s.name]; !declared {
+				bad(n, "sample %q has no preceding TYPE line", s.name)
+			}
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	violations = append(violations, checkHistograms(types, samples)...)
+	return violations, nil
+}
+
+// familyOf maps a sample name to its declared histogram/summary family
+// ("x_bucket"/"x_count"/"x_sum" -> "x") when one exists, else "".
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_count", "_sum"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if t := types[base]; t == "histogram" || t == "summary" {
+			return base
+		}
+	}
+	return ""
+}
+
+// parseSample splits `name{labels} value` (timestamp rejected: our
+// exposition never emits one, and silently ignoring it would mask a
+// formatting bug).
+func parseSample(line string) (sample, error) {
+	s := sample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value on sample line %q", line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("no value on sample line %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return s, fmt.Errorf("unexpected trailing fields %q (timestamps unsupported)", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	s.value = v
+	return s, nil
+}
+
+// parseLabels consumes a {k="v",...} block starting at rest[0] == '{'
+// and returns the index just past the closing brace. Only \\, \" and
+// \n escapes are legal inside a label value.
+func parseLabels(rest string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(rest) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if rest[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(rest[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("label without '=' in %q", rest)
+		}
+		key := rest[i : i+eq]
+		i += eq + 1
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, fmt.Errorf("unquoted value for label %q", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return 0, fmt.Errorf("unterminated value for label %q", key)
+			}
+			c := rest[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return 0, fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch rest[i+1] {
+				case '\\', '"':
+					val.WriteByte(rest[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("illegal escape \\%c in label %q", rest[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[key]; dup {
+			return 0, fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val.String()
+		if i < len(rest) && rest[i] == ',' {
+			i++
+		}
+	}
+}
+
+// seriesKey normalizes a sample to name{sorted labels} for duplicate
+// detection.
+func seriesKey(s sample) string {
+	if len(s.labels) == 0 {
+		return s.name
+	}
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// checkHistograms enforces, per declared histogram family: buckets
+// exist with parseable le labels, counts are cumulative in le order,
+// the +Inf bucket exists and equals _count, and _sum is present.
+func checkHistograms(types map[string]string, samples []sample) []string {
+	var violations []string
+	type hist struct {
+		les      []float64
+		counts   map[float64]float64
+		count    float64
+		hasCount bool
+		hasSum   bool
+	}
+	hists := map[string]*hist{}
+	for name, typ := range types {
+		if typ == "histogram" {
+			hists[name] = &hist{counts: map[float64]float64{}}
+		}
+	}
+	for _, s := range samples {
+		base := strings.TrimSuffix(s.name, "_bucket")
+		if h, ok := hists[base]; ok && base != s.name {
+			leStr, ok := s.labels["le"]
+			if !ok {
+				violations = append(violations, fmt.Sprintf("line %d: %s has no le label", s.line, s.name))
+				continue
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("line %d: unparseable le=%q", s.line, leStr))
+				continue
+			}
+			h.les = append(h.les, le)
+			h.counts[le] = s.value
+			continue
+		}
+		if h, ok := hists[strings.TrimSuffix(s.name, "_count")]; ok && strings.HasSuffix(s.name, "_count") {
+			h.hasCount, h.count = true, s.value
+		}
+		if h, ok := hists[strings.TrimSuffix(s.name, "_sum")]; ok && strings.HasSuffix(s.name, "_sum") {
+			h.hasSum = true
+		}
+	}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := hists[name]
+		if len(h.les) == 0 {
+			violations = append(violations, fmt.Sprintf("histogram %s has no _bucket series", name))
+			continue
+		}
+		sort.Float64s(h.les)
+		prev := math.Inf(-1)
+		last := 0.0
+		for _, le := range h.les {
+			c := h.counts[le]
+			if c < last {
+				violations = append(violations,
+					fmt.Sprintf("histogram %s: bucket le=%g count %g below previous %g (not cumulative)", name, le, c, last))
+			}
+			last, prev = c, le
+		}
+		if !math.IsInf(prev, 1) {
+			violations = append(violations, fmt.Sprintf("histogram %s missing le=\"+Inf\" bucket", name))
+		} else if h.hasCount && h.counts[prev] != h.count {
+			violations = append(violations,
+				fmt.Sprintf("histogram %s: le=\"+Inf\" bucket %g != _count %g", name, h.counts[prev], h.count))
+		}
+		if !h.hasCount {
+			violations = append(violations, fmt.Sprintf("histogram %s missing _count", name))
+		}
+		if !h.hasSum {
+			violations = append(violations, fmt.Sprintf("histogram %s missing _sum", name))
+		}
+	}
+	return violations
+}

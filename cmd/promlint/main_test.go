@@ -1,0 +1,129 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# TYPE service_submitted_total counter
+service_submitted_total 3
+# TYPE service_queue_depth gauge
+service_queue_depth 7
+# TYPE service_attempt_seconds histogram
+service_attempt_seconds_bucket{le="0.5"} 1
+service_attempt_seconds_bucket{le="1"} 3
+service_attempt_seconds_bucket{le="+Inf"} 4
+service_attempt_seconds_sum 3.25
+service_attempt_seconds_count 4
+`
+
+func lintString(t *testing.T, s string) []string {
+	t.Helper()
+	v, err := lint(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestLintClean(t *testing.T) {
+	if v := lintString(t, goodExposition); len(v) != 0 {
+		t.Errorf("clean exposition flagged: %v", v)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		want string // substring of the expected violation
+	}{
+		"no TYPE": {
+			in:   "orphan_total 1\n",
+			want: "no preceding TYPE line",
+		},
+		"TYPE after sample": {
+			in:   "late_total 1\n# TYPE late_total counter\n",
+			want: "no preceding TYPE line",
+		},
+		"bad metric name": {
+			in:   "# TYPE 9lives counter\n9lives 1\n",
+			want: "invalid metric name",
+		},
+		"unknown type": {
+			in:   "# TYPE x speedometer\nx 1\n",
+			want: "unknown metric type",
+		},
+		"duplicate series": {
+			in:   "# TYPE x counter\nx 1\nx 2\n",
+			want: "duplicate series",
+		},
+		"duplicate series distinct label order": {
+			in:   "# TYPE x counter\nx{a=\"1\",b=\"2\"} 1\nx{b=\"2\",a=\"1\"} 2\n",
+			want: "duplicate series",
+		},
+		"bad escape": {
+			in:   "# TYPE x counter\nx{a=\"b\\t\"} 1\n",
+			want: "illegal escape",
+		},
+		"unterminated label": {
+			in:   "# TYPE x counter\nx{a=\"b\n",
+			want: "unterminated",
+		},
+		"bad value": {
+			in:   "# TYPE x counter\nx one\n",
+			want: "bad sample value",
+		},
+		"timestamp rejected": {
+			in:   "# TYPE x counter\nx 1 1700000000\n",
+			want: "timestamps unsupported",
+		},
+		"histogram not cumulative": {
+			in: "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+				"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			want: "not cumulative",
+		},
+		"histogram missing +Inf": {
+			in:   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			want: "missing le=\"+Inf\"",
+		},
+		"histogram +Inf != count": {
+			in:   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+			want: "!= _count",
+		},
+		"histogram missing sum": {
+			in:   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			want: "missing _sum",
+		},
+		"histogram missing count": {
+			in:   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\n",
+			want: "missing _count",
+		},
+		"histogram no buckets": {
+			in:   "# TYPE h histogram\nh_sum 1\nh_count 5\n",
+			want: "no _bucket series",
+		},
+		"bucket without le": {
+			in:   "# TYPE h histogram\nh_bucket{notle=\"1\"} 5\nh_sum 1\nh_count 5\n",
+			want: "no le label",
+		},
+	}
+	for name, tc := range cases {
+		v := lintString(t, tc.in)
+		found := false
+		for _, msg := range v {
+			if strings.Contains(msg, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: want violation containing %q, got %v", name, tc.want, v)
+		}
+	}
+}
+
+func TestLintEscapedLabelRoundTrip(t *testing.T) {
+	in := "# TYPE x counter\nx{a=\"quote \\\" slash \\\\ nl \\n\"} 1\n"
+	if v := lintString(t, in); len(v) != 0 {
+		t.Errorf("escaped label flagged: %v", v)
+	}
+}

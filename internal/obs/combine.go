@@ -1,0 +1,103 @@
+package obs
+
+import "encoding/json"
+
+// Recorder combinators. The service layer composes one logical
+// per-attempt recorder out of three physical sinks — the daemon-wide
+// trace, the job's on-disk JSONL event tail, and the in-memory flight
+// ring — and stamps every event with correlation tags (trace_id, job,
+// attempt, owner). Tagged and Multi build that composition without any
+// of the underlying emitters knowing about it.
+
+// Tagged returns a Recorder that prepends the given fields to every
+// event emitted through it (both halves of a span included), so
+// correlation keys like trace_id ride along without threading them
+// through every call site. A nil inner recorder or an empty tag list
+// collapses to the input.
+func Tagged(r Recorder, tags ...Field) Recorder {
+	if r == nil || len(tags) == 0 {
+		return r
+	}
+	return &taggedRecorder{r: r, tags: tags}
+}
+
+type taggedRecorder struct {
+	r    Recorder
+	tags []Field
+}
+
+func (t *taggedRecorder) merge(fields []Field) []Field {
+	out := make([]Field, 0, len(t.tags)+len(fields))
+	out = append(out, t.tags...)
+	out = append(out, fields...)
+	return out
+}
+
+func (t *taggedRecorder) Emit(src, ev string, fields ...Field) {
+	t.r.Emit(src, ev, t.merge(fields)...)
+}
+
+func (t *taggedRecorder) Span(src, name string, fields ...Field) func(fields ...Field) {
+	end := t.r.Span(src, name, t.merge(fields)...)
+	return func(fields ...Field) { end(t.merge(fields)...) }
+}
+
+func (t *taggedRecorder) Metrics() *Metrics { return t.r.Metrics() }
+
+// Multi returns a Recorder fanning every event out to all non-nil
+// recorders. Metrics() (and therefore span timer/histogram feeding)
+// belongs to the FIRST recorder only, so shared registries keep a
+// single authoritative count — order the shared sink first. Zero live
+// recorders collapse to nil, one collapses to itself.
+func Multi(rs ...Recorder) Recorder {
+	live := make([]Recorder, 0, len(rs))
+	for _, r := range rs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiRecorder(live)
+}
+
+type multiRecorder []Recorder
+
+func (m multiRecorder) Emit(src, ev string, fields ...Field) {
+	for _, r := range m {
+		r.Emit(src, ev, fields...)
+	}
+}
+
+func (m multiRecorder) Span(src, name string, fields ...Field) func(fields ...Field) {
+	ends := make([]func(...Field), len(m))
+	for i, r := range m {
+		ends[i] = r.Span(src, name, fields...)
+	}
+	return func(fields ...Field) {
+		for _, end := range ends {
+			end(fields...)
+		}
+	}
+}
+
+func (m multiRecorder) Metrics() *Metrics { return m[0].Metrics() }
+
+// AppendJSONL appends the JSONL encoding of events to buf (one line
+// per event, the same shape the Trace sink writes); used to persist a
+// flight-recorder ring.
+func AppendJSONL(buf []byte, events []Event) []byte {
+	for _, e := range events {
+		data, err := json.Marshal(e)
+		if err != nil {
+			continue
+		}
+		buf = append(buf, data...)
+		buf = append(buf, '\n')
+	}
+	return buf
+}

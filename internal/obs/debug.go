@@ -27,15 +27,20 @@ func (d *DebugServer) Close() error { return d.srv.Close() }
 
 // DebugMux returns the standard debug mux over this trace:
 //
-//	/debug/metrics  JSON snapshot of every counter/gauge/timer
+//	/debug/metrics  JSON snapshot of every counter/gauge/timer/histogram
 //	/debug/trace    JSON array of the event ring (most recent events)
 //	/debug/pprof/*  the standard runtime profiles
+//	/metrics        Prometheus text exposition of the same registry
 //
 // ServeDebug mounts it on its own listener; servers with a mux of
 // their own (the attack daemon) mount it alongside their API routes so
 // one port serves both.
 func (t *Trace) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentTypePrometheus)
+		_ = t.Metrics().WritePrometheus(w)
+	})
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Fixed-bucket histograms. Like the other metric kinds, a handle is
+// cheap to cache and every observation is lock-free (one binary search
+// over the bounds plus three atomics), so histograms are safe to feed
+// from the solver hot path, portfolio members and the service worker
+// pool concurrently. The bucket layout is frozen at creation; the
+// exposition side (prometheus.go) renders the buckets cumulatively
+// with `le` labels, Prometheus-style.
+
+// DefBuckets are the default duration bucket upper bounds, in seconds.
+// They span the latencies this system actually produces: sub-ms lease
+// heartbeats and queue pops at the bottom, multi-minute relaxed solves
+// at the top.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram counts observations into fixed buckets. The zero value is
+// not usable; obtain handles from Metrics.Histogram/HistogramWith. A
+// nil *Histogram ignores observations, mirroring the nil-Recorder
+// convention of the rest of the package.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1, last slot is the +Inf bucket
+	n      atomic.Int64
+	sum    atomicFloat64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample (for durations: seconds). Buckets have
+// `le` semantics: a sample lands in the first bucket whose bound is
+// >= the value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records one duration sample, in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Value returns the sample count and the sum of all observed values.
+func (h *Histogram) Value() (count int64, sum float64) {
+	if h == nil {
+		return 0, 0
+	}
+	return h.n.Load(), h.sum.Load()
+}
+
+// Bounds returns a copy of the bucket upper bounds (without the
+// implicit +Inf bucket).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Cumulative returns the cumulative per-bucket counts aligned with
+// Bounds, plus the grand total (the +Inf bucket). All counts come from
+// one sequential pass, so within a single call total always equals the
+// last cumulative step plus the overflow bucket — the invariant the
+// Prometheus exposition relies on even while writers race.
+func (h *Histogram) Cumulative() (cum []int64, total int64) {
+	cum = make([]int64, len(h.bounds))
+	var running int64
+	for i := range h.bounds {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	total = running + h.counts[len(h.bounds)].Load()
+	return cum, total
+}
+
+// atomicFloat64 is a CAS-loop float accumulator (for histogram sums).
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat64) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketSemantics(t *testing.T) {
+	m := NewMetrics()
+	h := m.HistogramWith("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 5} {
+		h.Observe(v)
+	}
+	cum, total := h.Cumulative()
+	// le semantics: a sample equal to a bound belongs to that bucket.
+	want := []int64{2, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (cum=%v)", i, cum[i], w, cum)
+		}
+	}
+	if total != 6 {
+		t.Fatalf("total = %d, want 6", total)
+	}
+	n, sum := h.Value()
+	if n != 6 || sum != 14 {
+		t.Fatalf("Value = (%d, %v), want (6, 14)", n, sum)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)                   // must not panic
+	h.ObserveDuration(time.Second) // must not panic
+	if n, s := h.Value(); n != 0 || s != 0 {
+		t.Fatalf("nil Value = (%d, %v)", n, s)
+	}
+}
+
+func TestHistogramRegistryReuse(t *testing.T) {
+	m := NewMetrics()
+	a := m.HistogramWith("x", []float64{1, 2})
+	b := m.HistogramWith("x", []float64{10, 20, 30}) // bounds ignored: first registration wins
+	if a != b {
+		t.Fatal("same name must return the same histogram")
+	}
+	if got := len(b.Bounds()); got != 2 {
+		t.Fatalf("bounds len = %d, want 2 (original layout kept)", got)
+	}
+	if names := m.Names("histogram"); len(names) != 1 || names[0] != "x" {
+		t.Fatalf("Names(histogram) = %v", names)
+	}
+}
+
+// Run under -race: concurrent observation must be safe and lose no
+// samples.
+func TestHistogramConcurrent(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("conc")
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(g*per+i) / 1000)
+				if i%64 == 0 {
+					h.Cumulative() // concurrent reads race-check the copy path
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n, _ := h.Value(); n != goroutines*per {
+		t.Fatalf("count = %d, want %d", n, goroutines*per)
+	}
+	if _, total := h.Cumulative(); total != goroutines*per {
+		t.Fatalf("cumulative total = %d, want %d", total, goroutines*per)
+	}
+}
+
+func TestTaggedRecorder(t *testing.T) {
+	tr := NewTrace(nil, 16)
+	rec := Tagged(tr, F("trace_id", "abc"), F("job", "j-1"))
+	rec.Emit("service", "job.start", F("attempt", 1))
+	end := rec.Span("service", "phase")
+	end(F("ok", true))
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	for _, e := range evs {
+		if e.Fields["trace_id"] != "abc" || e.Fields["job"] != "j-1" {
+			t.Fatalf("event %s missing tags: %v", e.Ev, e.Fields)
+		}
+	}
+	if evs[0].Fields["attempt"] != 1 {
+		t.Fatalf("caller fields lost: %v", evs[0].Fields)
+	}
+	if evs[2].Ev != "phase.end" || evs[2].Fields["ok"] != true {
+		t.Fatalf("span end malformed: %+v", evs[2])
+	}
+	if Tagged(nil, F("a", 1)) != nil {
+		t.Fatal("Tagged(nil) must stay nil")
+	}
+	if got := Tagged(tr); got != Recorder(tr) {
+		t.Fatal("Tagged with no tags must collapse to the input")
+	}
+}
+
+func TestMultiRecorder(t *testing.T) {
+	a, b := NewTrace(nil, 8), NewTrace(nil, 8)
+	rec := Multi(nil, a, nil, b)
+	rec.Emit("s", "ev")
+	end := rec.Span("s", "span")
+	end()
+	for i, tr := range []*Trace{a, b} {
+		if got := len(tr.Events()); got != 3 {
+			t.Fatalf("sink %d saw %d events, want 3", i, got)
+		}
+	}
+	// Metrics routes to the first live recorder only.
+	if rec.Metrics() != a.Metrics() {
+		t.Fatal("Multi.Metrics must be the first recorder's registry")
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi with no live recorders must be nil")
+	}
+	if got := Multi(nil, b); got != Recorder(b) {
+		t.Fatal("Multi with one live recorder must collapse to it")
+	}
+}
+
+// Span closers now feed a histogram alongside the legacy timer.
+func TestSpanFeedsHistogram(t *testing.T) {
+	tr := NewTrace(nil, 4)
+	end := tr.Span("attack", "attack.solve")
+	end()
+	if n, _ := tr.Metrics().Histogram("attack.solve").Value(); n != 1 {
+		t.Fatalf("histogram count = %d, want 1", n)
+	}
+	if n, _ := tr.Metrics().Timer("attack.solve").Value(); n != 1 {
+		t.Fatalf("timer count = %d, want 1", n)
+	}
+}
+
+func TestAppendJSONL(t *testing.T) {
+	tr := NewTrace(nil, 4)
+	tr.Emit("s", "one", F("k", "v"))
+	tr.Emit("s", "two")
+	out := AppendJSONL(nil, tr.Events())
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 2 {
+		t.Fatalf("lines = %d, want 2\n%s", lines, out)
+	}
+}

@@ -50,20 +50,23 @@ func (t *Timer) Value() (count int64, total time.Duration) {
 	return t.n.Load(), time.Duration(t.ns.Load())
 }
 
-// Metrics is a named registry of counters, gauges and timers.
+// Metrics is a named registry of counters, gauges, timers and
+// histograms.
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -103,18 +106,54 @@ func (m *Metrics) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram with the default duration
+// buckets (DefBuckets), creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	return m.HistogramWith(name, DefBuckets)
+}
+
+// HistogramWith returns the named histogram, creating it with the
+// given bucket upper bounds on first use. An already-registered
+// histogram keeps its original buckets regardless of bounds.
+func (m *Metrics) HistogramWith(name string, bounds []float64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		m.histograms[name] = h
+	}
+	return h
+}
+
 // TimerValue is one timer in a snapshot.
 type TimerValue struct {
 	Count   int64   `json:"count"`
 	TotalMS float64 `json:"total_ms"`
 }
 
+// HistogramBucket is one cumulative bucket in a snapshot. LE is the
+// formatted upper bound ("0.05", "+Inf") because +Inf has no JSON
+// number encoding.
+type HistogramBucket struct {
+	LE string `json:"le"`
+	N  int64  `json:"n"`
+}
+
+// HistogramValue is one histogram in a snapshot.
+type HistogramValue struct {
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
 // Snapshot is a point-in-time copy of every metric, in the JSON shape
 // the /debug/metrics endpoint serves.
 type Snapshot struct {
-	Counters map[string]int64      `json:"counters"`
-	Gauges   map[string]int64      `json:"gauges"`
-	Timers   map[string]TimerValue `json:"timers"`
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]int64          `json:"gauges"`
+	Timers     map[string]TimerValue     `json:"timers"`
+	Histograms map[string]HistogramValue `json:"histograms,omitempty"`
 }
 
 // Snapshot copies every registered metric.
@@ -122,9 +161,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Counters: make(map[string]int64, len(m.counters)),
-		Gauges:   make(map[string]int64, len(m.gauges)),
-		Timers:   make(map[string]TimerValue, len(m.timers)),
+		Counters:   make(map[string]int64, len(m.counters)),
+		Gauges:     make(map[string]int64, len(m.gauges)),
+		Timers:     make(map[string]TimerValue, len(m.timers)),
+		Histograms: make(map[string]HistogramValue, len(m.histograms)),
 	}
 	for name, c := range m.counters {
 		s.Counters[name] = c.Value()
@@ -136,11 +176,22 @@ func (m *Metrics) Snapshot() Snapshot {
 		n, total := t.Value()
 		s.Timers[name] = TimerValue{Count: n, TotalMS: round2(total.Seconds() * 1e3)}
 	}
+	for name, h := range m.histograms {
+		cum, total := h.Cumulative()
+		_, sum := h.Value()
+		hv := HistogramValue{Count: total, Sum: sum}
+		for i, b := range h.bounds {
+			hv.Buckets = append(hv.Buckets, HistogramBucket{LE: formatFloat(b), N: cum[i]})
+		}
+		hv.Buckets = append(hv.Buckets, HistogramBucket{LE: "+Inf", N: total})
+		s.Histograms[name] = hv
+	}
 	return s
 }
 
 // Names returns the sorted names of one metric kind ("counter",
-// "gauge" or "timer"); handy for deterministic test output.
+// "gauge", "timer" or "histogram"); handy for deterministic test
+// output.
 func (m *Metrics) Names(kind string) []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -156,6 +207,10 @@ func (m *Metrics) Names(kind string) []string {
 		}
 	case "timer":
 		for n := range m.timers {
+			out = append(out, n)
+		}
+	case "histogram":
+		for n := range m.histograms {
 			out = append(out, n)
 		}
 	}

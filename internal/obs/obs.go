@@ -154,6 +154,7 @@ func (t *Trace) Span(src, name string, fields ...Field) func(fields ...Field) {
 	return func(fields ...Field) {
 		d := time.Since(start)
 		t.metrics.Timer(name).Observe(d)
+		t.metrics.Histogram(name).ObserveDuration(d)
 		out := make([]Field, 0, len(fields)+1)
 		out = append(out, F("ms", round2(d.Seconds()*1e3)))
 		out = append(out, fields...)

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) over the metric
+// registry. The output is deterministic — sections in a fixed order
+// (counters, gauges, histograms, timers) and names sorted within each
+// section — so it can be golden-tested and diffed across scrapes.
+//
+// Mapping rules:
+//
+//   - counter "service.finished"   → service_finished_total (TYPE counter)
+//   - gauge   "service.queue_depth"→ service_queue_depth (TYPE gauge)
+//   - histogram "service.attempt"  → service_attempt_seconds (TYPE
+//     histogram): cumulative _bucket{le="..."} lines ending at
+//     le="+Inf", plus _sum (seconds) and _count
+//   - timer "attack.solve"         → attack_solve_seconds (TYPE
+//     summary): _sum (seconds) + _count — but a timer whose raw name is
+//     also registered as a histogram is skipped entirely, because spans
+//     feed both and emitting both would duplicate the series
+//
+// ContentTypePrometheus is the matching Content-Type header value.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric to w in Prometheus
+// text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	type named[T any] struct {
+		name string
+		v    T
+	}
+	collect := func() (cs []named[*Counter], gs []named[*Gauge], hs []named[*Histogram], ts []named[*Timer], shadowed map[string]bool) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		shadowed = make(map[string]bool, len(m.histograms))
+		for n, c := range m.counters {
+			cs = append(cs, named[*Counter]{n, c})
+		}
+		for n, g := range m.gauges {
+			gs = append(gs, named[*Gauge]{n, g})
+		}
+		for n, h := range m.histograms {
+			hs = append(hs, named[*Histogram]{n, h})
+			shadowed[n] = true
+		}
+		for n, t := range m.timers {
+			ts = append(ts, named[*Timer]{n, t})
+		}
+		return
+	}
+	cs, gs, hs, ts, shadowed := collect()
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+
+	var b strings.Builder
+	for _, c := range cs {
+		name := sanitizeMetricName(c.name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, c.v.Value())
+	}
+	for _, g := range gs {
+		name := sanitizeMetricName(g.name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, g.v.Value())
+	}
+	for _, h := range hs {
+		name := sanitizeMetricName(h.name) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		cum, total := h.v.Cumulative()
+		for i, bound := range h.v.bounds {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", name, escapeLabelValue(formatFloat(bound)), cum[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+		_, sum := h.v.Value()
+		fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", name, formatFloat(sum), name, total)
+	}
+	for _, t := range ts {
+		if shadowed[t.name] {
+			continue
+		}
+		name := sanitizeMetricName(t.name) + "_seconds"
+		n, d := t.v.Value()
+		fmt.Fprintf(&b, "# TYPE %s summary\n%s_sum %s\n%s_count %d\n",
+			name, name, formatFloat(d.Seconds()), name, n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric
+// name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*; every invalid byte becomes
+// an underscore ("service.queue_wait" → "service_queue_wait").
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_') // names must not start with a digit
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The exposition is golden-tested: section ordering (counters, gauges,
+// histograms, timers), alphabetical names within sections, cumulative
+// histogram buckets ending at le="+Inf" == _count, and the
+// timer-shadowed-by-histogram rule must all stay byte-stable.
+func TestWritePrometheusGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("service.finished").Add(3)
+	m.Counter("attack.evictions").Inc()
+	m.Gauge("service.queue_depth").Set(7)
+	// Observations chosen binary-exact so _sum formats predictably.
+	h := m.HistogramWith("service.queue_wait", []float64{0.25, 0.5, 1})
+	h.Observe(0.25) // le=0.25 (boundary lands in its own bucket)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(2)                                   // overflow → +Inf only
+	m.Timer("template.encode").Observe(1500 * 1e6) // 1.5s in ns
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# TYPE attack_evictions_total counter
+attack_evictions_total 1
+# TYPE service_finished_total counter
+service_finished_total 3
+# TYPE service_queue_depth gauge
+service_queue_depth 7
+# TYPE service_queue_wait_seconds histogram
+service_queue_wait_seconds_bucket{le="0.25"} 1
+service_queue_wait_seconds_bucket{le="0.5"} 3
+service_queue_wait_seconds_bucket{le="1"} 3
+service_queue_wait_seconds_bucket{le="+Inf"} 4
+service_queue_wait_seconds_sum 3.25
+service_queue_wait_seconds_count 4
+# TYPE template_encode_seconds summary
+template_encode_seconds_sum 1.5
+template_encode_seconds_count 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusTimerShadowedByHistogram(t *testing.T) {
+	m := NewMetrics()
+	// A span feeds both a timer and a histogram under the same raw name;
+	// the exposition must emit only the histogram or the series would
+	// appear twice as attack_solve_seconds.
+	m.Timer("attack.solve").Observe(1e9)
+	m.Histogram("attack.solve").Observe(1)
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE attack_solve_seconds histogram") {
+		t.Fatalf("histogram missing:\n%s", out)
+	}
+	if strings.Contains(out, "summary") {
+		t.Fatalf("shadowed timer still rendered:\n%s", out)
+	}
+	if strings.Count(out, "attack_solve_seconds_count") != 1 {
+		t.Fatalf("duplicate _count series:\n%s", out)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"service.queue_wait": "service_queue_wait",
+		"sat[0]:single":      "sat_0_:single",
+		"9lives":             "_9lives",
+		"ok_name:sub":        "ok_name:sub",
+		"spaß":               "spa__",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	in := "a\\b\"c\nd"
+	want := `a\\b\"c\nd`
+	if got := escapeLabelValue(in); got != want {
+		t.Fatalf("escapeLabelValue = %q, want %q", got, want)
+	}
+}

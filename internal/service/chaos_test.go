@@ -1,15 +1,20 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
 )
 
 // chaosOpts is the aggressive-timing daemon config the chaos tests
@@ -102,6 +107,7 @@ func TestChaosConvergence(t *testing.T) {
 	// until the store has every job done. Seeds vary per epoch so the
 	// injection pattern shifts, but within an epoch it is deterministic.
 	dir := t.TempDir()
+	sinkDir := t.TempDir() // one JSONL sink per daemon life, as N daemons would have
 	seen := make(map[string][]byte)
 	submitted := false
 	converged := false
@@ -115,7 +121,13 @@ func TestChaosConvergence(t *testing.T) {
 			DropBeatFrac: 0.3,
 			MaxAttempt:   1, // transient: retries always run clean
 		}
-		d, err := New(chaosOpts(dir, 2, c))
+		sink, err := os.Create(filepath.Join(sinkDir, fmt.Sprintf("epoch%02d.jsonl", epoch)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := chaosOpts(dir, 2, c)
+		o.Recorder = obs.NewTrace(sink, 0)
+		d, err := New(o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,6 +173,7 @@ func TestChaosConvergence(t *testing.T) {
 		} else {
 			d.Kill()
 		}
+		sink.Close() // workers are stopped; the epoch's sink is complete
 
 		// Monotonicity: results already on disk never change.
 		now := readStoreResults(t, dir)
@@ -197,6 +210,124 @@ func TestChaosConvergence(t *testing.T) {
 	for _, j := range onDisk {
 		if j.State == StateQuarantined {
 			t.Errorf("job %s quarantined under transient chaos: %s", j.ID, j.Error)
+		}
+	}
+
+	// Tracing acceptance: greping the concatenated JSONL sinks of every
+	// daemon life must reconstruct, per job, a gap-free lifecycle under
+	// one trace ID — kills, retries and steals included.
+	assertTraceContinuity(t, sinkDir, ids)
+}
+
+// traceEvent is the JSONL shape assertTraceContinuity parses.
+type traceEvent struct {
+	Ev     string         `json:"ev"`
+	Fields map[string]any `json:"f"`
+}
+
+func (e traceEvent) str(k string) string {
+	s, _ := e.Fields[k].(string)
+	return s
+}
+
+func (e traceEvent) num(k string) int {
+	f, ok := e.Fields[k].(float64)
+	if !ok {
+		return -1
+	}
+	return int(f)
+}
+
+// assertTraceContinuity replays every epoch sink in order and checks,
+// for each job: a single non-empty trace_id across all its events,
+// exactly one submission, every start carrying owner and attempt,
+// attempt numbers forming a contiguous 1..max set (kills may replay a
+// number — the crash never persisted it — but can't skip one), exactly
+// one terminal finish, and nothing starting after it.
+func assertTraceContinuity(t *testing.T, sinkDir string, ids []string) {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(sinkDir, "epoch*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files) // epoch order == time order: lives are sequential
+	perJob := make(map[string][]traceEvent)
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for sc.Scan() {
+			var e traceEvent
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatalf("%s: malformed sink line: %v: %s", path, err, sc.Text())
+			}
+			if id := e.str("job"); id != "" {
+				perJob[id] = append(perJob[id], e)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	for _, id := range ids {
+		evs := perJob[id]
+		if len(evs) == 0 {
+			t.Errorf("job %s: no events in any sink", id)
+			continue
+		}
+		traces := make(map[string]bool)
+		var submitted, finished int
+		attempts := make(map[int]bool)
+		maxAttempt := 0
+		for _, e := range evs {
+			if tid := e.str("trace_id"); tid != "" {
+				traces[tid] = true
+			}
+			switch e.Ev {
+			case "job.submitted":
+				submitted++
+			case "job.start":
+				if finished > 0 {
+					t.Errorf("job %s: job.start after job.finish", id)
+				}
+				if e.str("owner") == "" {
+					t.Errorf("job %s: job.start without owner: %+v", id, e)
+				}
+				a := e.num("attempt")
+				if a < 1 {
+					t.Errorf("job %s: job.start with attempt %d", id, a)
+				}
+				attempts[a] = true
+				if a > maxAttempt {
+					maxAttempt = a
+				}
+			case "job.finish":
+				finished++
+				if e.str("trace_id") == "" {
+					t.Errorf("job %s: job.finish without trace_id", id)
+				}
+			}
+		}
+		if len(traces) != 1 {
+			t.Errorf("job %s: %d distinct trace IDs %v, want exactly 1", id, len(traces), traces)
+		}
+		if submitted != 1 {
+			t.Errorf("job %s: %d job.submitted events, want 1", id, submitted)
+		}
+		if finished != 1 {
+			t.Errorf("job %s: %d job.finish events, want 1", id, finished)
+		}
+		if maxAttempt == 0 {
+			t.Errorf("job %s: no attempts recorded", id)
+		}
+		for a := 1; a <= maxAttempt; a++ {
+			if !attempts[a] {
+				t.Errorf("job %s: attempt %d missing from trace (saw %v) — gap in lifecycle", id, a, attempts)
+			}
 		}
 	}
 }
@@ -277,6 +408,54 @@ func TestChaosPoisonQuarantine(t *testing.T) {
 		if !bytes.Contains(tail, []byte(ev)) {
 			t.Errorf("event tail missing %s: %s", ev, tail)
 		}
+	}
+
+	// The quarantined job exposes a non-empty flight record: the ring of
+	// its final attempt, every line valid JSONL, carrying the job's
+	// trace ID and the panic that killed it.
+	resp, err = http.Get(base + "/v1/jobs/" + j.ID + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flight endpoint: %d, want 200", resp.StatusCode)
+	}
+	var flight bytes.Buffer
+	if _, err := flight.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if flight.Len() == 0 {
+		t.Fatal("flight record empty")
+	}
+	sawPanic, sawQuarantine := false, false
+	for _, line := range bytes.Split(bytes.TrimSpace(flight.Bytes()), []byte("\n")) {
+		var e traceEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("flight line not JSON: %v: %s", err, line)
+		}
+		if e.str("trace_id") != q.TraceID {
+			t.Errorf("flight event %s trace_id = %q, want %q", e.Ev, e.str("trace_id"), q.TraceID)
+		}
+		switch e.Ev {
+		case "job.panic":
+			sawPanic = true
+		case "job.quarantined":
+			sawQuarantine = true
+		}
+	}
+	if !sawPanic || !sawQuarantine {
+		t.Errorf("flight record missing the failure story (panic=%v quarantine=%v):\n%s",
+			sawPanic, sawQuarantine, flight.String())
+	}
+
+	// An unknown job 404s; a healthy job has no flight record to serve.
+	if resp, err = http.Get(base + "/v1/jobs/nope/flight"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("flight of unknown job: %d, want 404", resp.StatusCode)
 	}
 	srv.Close()
 	d.Drain()

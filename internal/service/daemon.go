@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	crand "crypto/rand"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -63,8 +64,17 @@ type Options struct {
 	Chaos *Chaos
 
 	// Recorder receives daemon-level events and metrics (job lifecycle,
-	// queue depth); per-job solver events go to each job's own tail.
+	// queue depth, latency histograms). Per-attempt events fan out to it
+	// AND to the job's own on-disk tail, each stamped with trace_id /
+	// job / attempt / owner tags, so the daemon-wide JSONL sink alone
+	// reconstructs any job's lifecycle across retries and steals.
 	Recorder *obs.Trace
+
+	// FlightCap bounds the per-attempt flight-recorder ring: the most
+	// recent events of an attempt, persisted as <job>.flight.jsonl when
+	// the attempt ends in quarantine, panic or a blown deadline
+	// (default 256; < 0 disables the flight recorder).
+	FlightCap int
 	// DisableBatching encodes every job from scratch instead of
 	// instantiating shared templates — the benchmark baseline that
 	// quantifies what batching buys.
@@ -111,7 +121,37 @@ func (o Options) withDefaults() Options {
 	if o.ShedWatermark < 1 {
 		o.ShedWatermark = o.QueueDepth * 3 / 4
 	}
+	if o.FlightCap == 0 {
+		o.FlightCap = 256
+	}
 	return o
+}
+
+// newTraceID mints a 96-bit random trace identifier (24 hex chars).
+func newTraceID() string {
+	var b [12]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// No entropy source: fall back to the clock, still unique enough
+		// for correlation within one deployment.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// validTraceID accepts client-supplied trace IDs: 1..64 chars of
+// [A-Za-z0-9_-], enough for every mainstream tracing scheme while
+// keeping the value safe to grep and to embed in JSON and filenames.
+func validTraceID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-') {
+			return false
+		}
+	}
+	return true
 }
 
 // Daemon owns the queue, the template cache, the worker pool, the job
@@ -182,6 +222,11 @@ func New(opts Options) (*Daemon, error) {
 	}
 	d.avgRunNs.Store(int64(time.Second)) // optimistic prior until measured
 	for _, j := range prev {
+		if j.TraceID == "" {
+			// Pre-tracing record: mint now so the lifecycle is correlated
+			// from here on (persisted by the next state transition).
+			j.TraceID = newTraceID()
+		}
 		d.jobs[j.ID] = j
 		if err := d.resume(j); err != nil {
 			cancel()
@@ -203,10 +248,12 @@ func (d *Daemon) resume(j *Job) error {
 			d.retry[j.ID] = j.NotBefore
 			return nil
 		}
+		j.enqueued = time.Now()
 		if err := d.queue.requeue(j); err != nil {
 			return err
 		}
-		obs.Emit(d.rec(), "service", "job.resumed", obs.F("job", j.ID))
+		obs.Emit(d.rec(), "service", "job.resumed",
+			obs.F("trace_id", j.TraceID), obs.F("job", j.ID))
 	case StateLeased, StateRunning:
 		lease, err := d.store.ReadLease(j.ID)
 		if err != nil {
@@ -224,30 +271,46 @@ func (d *Daemon) resume(j *Job) error {
 				}
 				return err
 			}
-			obs.Emit(d.rec(), "service", "job.lease.expired",
-				obs.F("job", j.ID), obs.F("owner", lease.Owner))
+			obs.Emit(d.rec(), "service", "lease.stolen",
+				obs.F("trace_id", j.TraceID), obs.F("job", j.ID),
+				obs.F("owner", lease.Owner), obs.F("attempt", lease.Attempt))
+			d.counter("service.lease_stolen", 1)
 		}
 		// Interrupted mid-run by a dead daemon: back to the queue.
 		j.State = StateQueued
 		if err := d.store.SaveJob(j); err != nil {
 			return err
 		}
+		j.enqueued = time.Now()
 		if err := d.queue.requeue(j); err != nil {
 			return err
 		}
-		obs.Emit(d.rec(), "service", "job.resumed", obs.F("job", j.ID))
+		obs.Emit(d.rec(), "service", "job.resumed",
+			obs.F("trace_id", j.TraceID), obs.F("job", j.ID))
 	}
 	return nil
 }
 
-// Submit validates, persists and enqueues one job. The returned Job is
-// a snapshot; poll Job(id) for progress.
+// Submit validates, persists and enqueues one job with a freshly
+// minted trace ID. The returned Job is a snapshot; poll Job(id) for
+// progress.
 func (d *Daemon) Submit(spec JobSpec, client string) (*Job, error) {
+	return d.SubmitTraced(spec, client, "")
+}
+
+// SubmitTraced is Submit with a caller-supplied trace ID (the
+// X-Afa-Trace-Id request header). An empty or invalid ID gets a fresh
+// one minted; either way the ID is persisted on the record and stamped
+// on every subsequent event of the job's lifecycle.
+func (d *Daemon) SubmitTraced(spec JobSpec, client, traceID string) (*Job, error) {
 	if _, err := spec.parse(); err != nil {
 		return nil, err
 	}
 	if d.draining.Load() {
 		return nil, ErrDraining
+	}
+	if !validTraceID(traceID) {
+		traceID = newTraceID()
 	}
 	d.mu.Lock()
 	id := fmt.Sprintf("j-%06d", d.nextID)
@@ -257,9 +320,10 @@ func (d *Daemon) Submit(spec JobSpec, client string) (*Job, error) {
 	}
 	d.nextID++
 	job := &Job{
-		ID: id, Client: client, Spec: spec,
+		ID: id, Client: client, TraceID: traceID, Spec: spec,
 		State: StateQueued, Submitted: time.Now().UTC(),
 	}
+	job.enqueued = time.Now()
 	d.jobs[id] = job
 	snap := job.clone()
 	err := d.store.SaveJob(job)
@@ -278,13 +342,15 @@ func (d *Daemon) Submit(spec JobSpec, client string) (*Job, error) {
 		}
 		if errors.Is(err, ErrQueueShed) {
 			obs.Emit(d.rec(), "service", "job.shed",
-				obs.F("priority", spec.Priority), obs.F("queued", d.queue.len()))
+				obs.F("trace_id", traceID), obs.F("priority", spec.Priority),
+				obs.F("queued", d.queue.len()))
 			d.counter("service.shed", 1)
 		}
 		return nil, err
 	}
 	obs.Emit(d.rec(), "service", "job.submitted",
-		obs.F("job", id), obs.F("key", spec.batchKey()), obs.F("queued", d.queue.len()))
+		obs.F("trace_id", traceID), obs.F("job", id),
+		obs.F("key", spec.batchKey()), obs.F("queued", d.queue.len()))
 	if d.opts.Recorder != nil {
 		d.opts.Recorder.Metrics().Counter("service.submitted").Add(1)
 		d.opts.Recorder.Metrics().Gauge("service.queue_depth").Set(int64(d.queue.len()))
@@ -294,8 +360,18 @@ func (d *Daemon) Submit(spec JobSpec, client string) (*Job, error) {
 
 // Allow applies the per-client rate limit (one token per submit). On
 // denial the duration is the client's own token-refill wait — the
-// Retry-After value.
-func (d *Daemon) Allow(client string) (bool, time.Duration) { return d.limiter.allow(client) }
+// Retry-After value — and the refusal is recorded (ratelimit.denied
+// event with the derived wait, service.ratelimit_denied counter).
+func (d *Daemon) Allow(client string) (bool, time.Duration) {
+	ok, wait := d.limiter.allow(client)
+	if !ok {
+		obs.Emit(d.rec(), "service", "ratelimit.denied",
+			obs.F("client", client), obs.F("retry_after_ms", wait.Milliseconds()),
+			obs.F("denied_total", d.limiter.deniedCount()))
+		d.counter("service.ratelimit_denied", 1)
+	}
+	return ok, wait
+}
 
 // Draining reports whether a drain has begun.
 func (d *Daemon) Draining() bool { return d.draining.Load() }
@@ -394,8 +470,30 @@ func (d *Daemon) counter(name string, delta int64) {
 	}
 }
 
+// observeHist feeds one duration sample into a named histogram on the
+// daemon registry (no-op without a recorder).
+func (d *Daemon) observeHist(name string, dur time.Duration) {
+	if d.opts.Recorder != nil {
+		d.opts.Recorder.Metrics().Histogram(name).ObserveDuration(dur)
+	}
+}
+
+// Metrics exposes the daemon recorder's registry — the source of the
+// /metrics Prometheus exposition. Nil when no recorder is configured.
+func (d *Daemon) Metrics() *obs.Metrics {
+	if d.opts.Recorder == nil {
+		return nil
+	}
+	return d.opts.Recorder.Metrics()
+}
+
 // Events returns the raw JSONL event tail of a job.
 func (d *Daemon) Events(id string) ([]byte, error) { return d.store.ReadEvents(id) }
+
+// Flight returns the raw flight record of a job (the event ring of its
+// last quarantining/panicking/deadline-blown attempt), or nil when no
+// attempt failed hard enough to persist one.
+func (d *Daemon) Flight(id string) ([]byte, error) { return d.store.ReadFlight(id) }
 
 // dispatch pops key-grouped batches and fans each job out to the
 // worker pool. All jobs of one batch share one template lookup (and
@@ -407,10 +505,14 @@ func (d *Daemon) dispatch() {
 		if !ok {
 			return
 		}
-		tpl := d.templateFor(batch[0].Spec)
+		tpl := d.templateFor(batch[0].Spec, batch[0].TraceID)
+		ids := make([]string, len(batch))
+		for i, j := range batch {
+			ids[i] = j.ID
+		}
 		obs.Emit(d.rec(), "service", "batch.dispatch",
 			obs.F("key", batch[0].Spec.batchKey()), obs.F("jobs", len(batch)),
-			obs.F("batched", tpl != nil))
+			obs.F("ids", ids), obs.F("batched", tpl != nil))
 		for _, j := range batch {
 			j := j
 			if err := d.pool.Submit(func(ctx context.Context) { d.runJob(ctx, j, tpl) }); err != nil {
@@ -427,7 +529,7 @@ func (d *Daemon) dispatch() {
 // template for the spec's shape, or nil when batching is disabled.
 // Template construction is the expensive encode pass; instantiation
 // per job is a prefix memcpy plus unit clauses.
-func (d *Daemon) templateFor(spec JobSpec) *core.Template {
+func (d *Daemon) templateFor(spec JobSpec, traceID string) *core.Template {
 	if d.opts.DisableBatching {
 		return nil
 	}
@@ -442,7 +544,10 @@ func (d *Daemon) templateFor(spec JobSpec) *core.Template {
 	if !ok {
 		cfg := core.DefaultConfig(p.mode, p.model)
 		cfg.KnownPosition = spec.KnownPosition
-		stop := obs.Span(d.rec(), "service", "template.encode", obs.F("key", key))
+		// The encode is shared by the whole batch; the span carries the
+		// triggering job's trace so the cost shows up in that timeline.
+		stop := obs.Span(d.rec(), "service", "template.encode",
+			obs.F("key", key), obs.F("trace_id", traceID))
 		tpl, err = core.NewTemplate(cfg)
 		stop(obs.F("err", err != nil))
 		if err != nil {
@@ -478,6 +583,10 @@ func (d *Daemon) acquire(j *Job) (gen int64, attempt int, ok bool) {
 	if j.State != StateQueued {
 		return 0, 0, false // completed or re-routed while waiting in the pool
 	}
+	if !j.enqueued.IsZero() {
+		d.observeHist("service.queue_wait", time.Since(j.enqueued))
+		j.enqueued = time.Time{}
+	}
 	j.gen++
 	gen = j.gen
 	attempt = j.Attempts + 1
@@ -511,16 +620,31 @@ func (d *Daemon) runJob(ctx context.Context, j *Job, tpl *core.Template) {
 		d.opts.Recorder.Metrics().Gauge("service.queue_depth").Set(int64(d.queue.len()))
 	}
 
-	// Per-job recorder: the JSONL sink is the job's event tail, which
-	// persists across re-runs (O_APPEND) — no ring needed, the events
-	// endpoint serves the file.
-	var rec obs.Recorder
-	ef, err := d.store.OpenEvents(j.ID)
-	if err == nil {
-		rec = obs.NewTrace(ef, 0)
+	// Per-attempt recorder, three sinks behind one interface:
+	//
+	//   - the daemon-wide recorder (shared sink + the metric registry
+	//     the solver's counters land in — Multi routes Metrics() to its
+	//     FIRST member, which is why the daemon recorder leads)
+	//   - the job's on-disk JSONL event tail (persists across re-runs
+	//     via O_APPEND; the events endpoint serves the file)
+	//   - the flight ring: the attempt's most recent events, persisted
+	//     by settle as <job>.flight.jsonl when the attempt dies hard
+	//
+	// Tagged stamps trace_id/job/attempt/owner on every event, so one
+	// grep over any sink reconstructs the lifecycle, stolen attempts
+	// included.
+	var tail, flight *obs.Trace
+	if ef, err := d.store.OpenEvents(j.ID); err == nil {
+		tail = obs.NewTrace(ef, 0)
 		defer ef.Close()
 	}
-	obs.Emit(rec, "service", "job.start", obs.F("job", j.ID), obs.F("attempt", attempt))
+	if d.opts.FlightCap > 0 {
+		flight = obs.NewTrace(nil, d.opts.FlightCap)
+	}
+	rec := obs.Tagged(obs.Multi(d.rec(), recOf(tail), recOf(flight)),
+		obs.F("trace_id", j.TraceID), obs.F("job", j.ID),
+		obs.F("attempt", attempt), obs.F("owner", d.owner))
+	obs.Emit(rec, "service", "job.start")
 
 	start := time.Now()
 	res, partial, panicked, jerr := d.attempt(ctx, j, attempt, tpl, rec)
@@ -530,37 +654,44 @@ func (d *Daemon) runJob(ctx context.Context, j *Job, tpl *core.Template) {
 		// record stays at leased/running; a drain interrupt checkpoints
 		// the job back to queued so the next start re-runs it. Neither
 		// consumes an attempt.
-		obs.Emit(rec, "service", "job.interrupted", obs.F("job", j.ID))
+		obs.Emit(rec, "service", "job.interrupted")
 		if !d.killed.Load() {
 			d.releaseInterrupted(j, gen)
 		}
 		return
 	}
-	d.observeRun(time.Since(start))
-	d.settle(j, gen, attempt, res, partial, panicked, jerr, rec)
+	dur := time.Since(start)
+	d.observeRun(dur)
+	d.observeHist("service.attempt", dur)
+	d.settle(j, gen, attempt, res, partial, panicked, jerr, rec, flight)
 }
+
+// errAttemptDeadline marks an attempt that blew its per-attempt wall
+// clock (deadline_ms); settle uses it to decide the flight recorder
+// should persist.
+var errAttemptDeadline = errors.New("service: attempt deadline exceeded")
 
 // attempt runs the solve for one attempt, converting panics into
 // errors and the per-attempt deadline into a retryable failure. Chaos
 // hooks (dev/test only) fire here so injected faults travel the same
-// recovery paths real ones would.
+// recovery paths real ones would. rec arrives pre-tagged with
+// trace_id/job/attempt/owner.
 func (d *Daemon) attempt(ctx context.Context, j *Job, attempt int, tpl *core.Template, rec obs.Recorder) (res *JobResult, partial *JobResult, panicked bool, jerr error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, partial = nil, nil
 			panicked = true
 			jerr = fmt.Errorf("service: job panicked: %v", r)
-			obs.Emit(rec, "service", "job.panic",
-				obs.F("job", j.ID), obs.F("attempt", attempt), obs.F("err", fmt.Sprint(r)))
+			obs.Emit(rec, "service", "job.panic", obs.F("err", fmt.Sprint(r)))
 		}
 	}()
 	if c := d.opts.Chaos; c != nil {
 		if c.hit(chaosSlow, j.ID, attempt) {
-			obs.Emit(rec, "service", "chaos.slow", obs.F("job", j.ID), obs.F("ms", c.SlowBy.Milliseconds()))
+			obs.Emit(rec, "service", "chaos.slow", obs.F("ms", c.SlowBy.Milliseconds()))
 			time.Sleep(c.SlowBy) // deliberately cancellation-blind: a hung worker
 		}
 		if c.hit(chaosPanic, j.ID, attempt) {
-			obs.Emit(rec, "service", "chaos.panic", obs.F("job", j.ID))
+			obs.Emit(rec, "service", "chaos.panic")
 			panic("chaos: injected panic")
 		}
 	}
@@ -576,7 +707,7 @@ func (d *Daemon) attempt(ctx context.Context, j *Job, attempt int, tpl *core.Tem
 		// returned a budget-exceeded result, which becomes the partial
 		// checkpoint of a *failed* attempt rather than a final answer.
 		partial, res = res, nil
-		jerr = fmt.Errorf("service: attempt deadline %dms exceeded", j.Spec.DeadlineMs)
+		jerr = fmt.Errorf("%w (%dms)", errAttemptDeadline, j.Spec.DeadlineMs)
 	}
 	return res, partial, false, jerr
 }
@@ -585,11 +716,11 @@ func (d *Daemon) attempt(ctx context.Context, j *Job, attempt int, tpl *core.Tem
 // worker whose lease was stolen while it was stuck discards its result
 // (the thief's re-run is the one that counts — this is what makes
 // "no job double-completed" hold under hangs and steals).
-func (d *Daemon) settle(j *Job, gen int64, attempt int, res, partial *JobResult, panicked bool, jerr error, rec obs.Recorder) {
+func (d *Daemon) settle(j *Job, gen int64, attempt int, res, partial *JobResult, panicked bool, jerr error, rec obs.Recorder, flight *obs.Trace) {
 	d.mu.Lock()
 	if j.gen != gen {
 		d.mu.Unlock()
-		obs.Emit(rec, "service", "job.lease.lost", obs.F("job", j.ID), obs.F("attempt", attempt))
+		obs.Emit(rec, "service", "job.lease.lost")
 		d.counter("service.lease_lost", 1)
 		return
 	}
@@ -599,7 +730,7 @@ func (d *Daemon) settle(j *Job, gen int64, attempt int, res, partial *JobResult,
 		if l, err := d.store.ReadLease(j.ID); err == nil && (l == nil || l.Owner != d.owner) {
 			delete(d.leases, j.ID)
 			d.mu.Unlock()
-			obs.Emit(rec, "service", "job.lease.lost", obs.F("job", j.ID), obs.F("attempt", attempt))
+			obs.Emit(rec, "service", "job.lease.lost")
 			d.counter("service.lease_lost", 1)
 			return
 		}
@@ -640,14 +771,22 @@ func (d *Daemon) settle(j *Job, gen int64, attempt int, res, partial *JobResult,
 			ev = "job.retry"
 		}
 	}
-	if !d.killed.Load() {
+	// One liveness decision gates the persist AND the terminal event AND
+	// the flight record: a SIGKILLed process (or its test double) does
+	// none of the three, so the disk never shows a completed record
+	// whose trace is missing its terminal event.
+	alive := !d.killed.Load()
+	if alive {
 		_ = d.store.SaveJob(j)
 		_ = d.store.RemoveLease(j.ID)
 	}
 	state := j.State
 	d.mu.Unlock()
+	if !alive {
+		return
+	}
 
-	fields := []obs.Field{obs.F("job", j.ID), obs.F("state", state), obs.F("attempt", attempt)}
+	fields := []obs.Field{obs.F("state", state)}
 	switch ev {
 	case "job.finish":
 		fields = append(fields, obs.F("status", resultStatus(res)))
@@ -660,7 +799,19 @@ func (d *Daemon) settle(j *Job, gen int64, attempt int, res, partial *JobResult,
 		d.counter("service.quarantined", 1)
 	}
 	obs.Emit(rec, "service", ev, fields...)
-	obs.Emit(d.rec(), "service", ev, fields...)
+
+	// Flight recorder: a hard-failing attempt (quarantine, panic, blown
+	// deadline) persists its ring tail next to the checkpoint, so the
+	// post-mortem needs no re-run. Written after the terminal event so
+	// the record includes it.
+	if flight != nil && (ev == "job.quarantined" || panicked || errors.Is(jerr, errAttemptDeadline)) {
+		if err := d.store.SaveFlight(j.ID, flight.Events()); err == nil {
+			total, dropped := flight.Totals()
+			obs.Emit(rec, "service", "job.flight",
+				obs.F("events", total-dropped), obs.F("dropped", dropped))
+			d.counter("service.flights", 1)
+		}
+	}
 }
 
 // backoff computes the jittered exponential retry delay after the
@@ -842,7 +993,12 @@ func (d *Daemon) beat() {
 			continue // chaos: this attempt's heartbeats are delayed
 		}
 		l.Heartbeat = now
+		t0 := time.Now()
 		_ = d.store.SaveLease(l)
+		// Heartbeat persistence latency: when this histogram's tail nears
+		// LeaseTTL the state directory is too slow for the lease cadence
+		// and healthy daemons will get robbed.
+		d.observeHist("service.heartbeat", time.Since(t0))
 	}
 }
 
@@ -855,7 +1011,11 @@ func (d *Daemon) reap() {
 	now := time.Now()
 	// Phase 1: own leases whose heartbeats stopped.
 	d.mu.Lock()
-	var expired []string
+	type expiredLease struct {
+		id, trace string
+		attempt   int
+	}
+	var expired []expiredLease
 	for id, l := range d.leases {
 		if now.Sub(l.Heartbeat) <= d.opts.LeaseTTL {
 			continue
@@ -873,11 +1033,13 @@ func (d *Daemon) reap() {
 		j.State = StateQueued
 		_ = d.store.SaveJob(j)
 		d.retry[id] = now
-		expired = append(expired, id)
+		expired = append(expired, expiredLease{id: id, trace: j.TraceID, attempt: l.Attempt})
 	}
 	d.mu.Unlock()
-	for _, id := range expired {
-		obs.Emit(d.rec(), "service", "job.lease.expired", obs.F("job", id), obs.F("owner", d.owner))
+	for _, e := range expired {
+		obs.Emit(d.rec(), "service", "lease.expired-own",
+			obs.F("trace_id", e.trace), obs.F("job", e.id),
+			obs.F("owner", d.owner), obs.F("attempt", e.attempt))
 		d.counter("service.lease_expired", 1)
 	}
 
@@ -893,9 +1055,22 @@ func (d *Daemon) reap() {
 		if err := d.store.RemoveLease(l.JobID); err != nil {
 			continue // lost the steal race
 		}
-		obs.Emit(d.rec(), "service", "job.lease.expired",
-			obs.F("job", l.JobID), obs.F("owner", l.Owner))
-		d.counter("service.lease_expired", 1)
+		// Steal-to-adoption gap: how long the job sat orphaned past its
+		// lease TTL before a live daemon noticed — the recovery-latency
+		// cost of the TTL + ReapEvery settings.
+		if gap := now.Sub(l.Heartbeat) - d.opts.LeaseTTL; gap > 0 {
+			d.observeHist("service.steal_gap", gap)
+		}
+		d.mu.Lock()
+		trace := ""
+		if j := d.jobs[l.JobID]; j != nil {
+			trace = j.TraceID
+		}
+		d.mu.Unlock()
+		obs.Emit(d.rec(), "service", "lease.stolen",
+			obs.F("trace_id", trace), obs.F("job", l.JobID),
+			obs.F("owner", l.Owner), obs.F("attempt", l.Attempt))
+		d.counter("service.lease_stolen", 1)
 		d.adopt(l.JobID)
 	}
 }
@@ -923,9 +1098,11 @@ func (d *Daemon) adopt(id string) {
 	j.State = StateQueued
 	_ = d.store.SaveJob(j)
 	d.retry[id] = time.Now()
+	trace := j.TraceID
 	d.mu.Unlock()
-	obs.Emit(d.rec(), "service", "job.stolen", obs.F("job", id))
-	d.counter("service.stolen", 1)
+	obs.Emit(d.rec(), "service", "job.adopted",
+		obs.F("trace_id", trace), obs.F("job", id), obs.F("owner", d.owner))
+	d.counter("service.adopted", 1)
 }
 
 // releaseRetries re-dispatches jobs whose backoff (or steal hold-off)
@@ -940,6 +1117,7 @@ func (d *Daemon) releaseRetries() {
 		}
 		delete(d.retry, id)
 		if j := d.jobs[id]; j != nil && j.State == StateQueued {
+			j.enqueued = now
 			due = append(due, j)
 		}
 	}
@@ -957,26 +1135,42 @@ func (d *Daemon) releaseRetries() {
 func (d *Daemon) gc() {
 	cutoff := time.Now().Add(-d.opts.GCMaxAge)
 	d.mu.Lock()
-	var victims []string
+	type victim struct {
+		id, trace string
+		bytes     int64
+	}
+	var victims []victim
 	for id, j := range d.jobs {
 		if terminal(j.State) && !j.Finished.IsZero() && j.Finished.Before(cutoff) {
-			victims = append(victims, id)
+			victims = append(victims, victim{id: id, trace: j.TraceID})
 		}
 	}
 	removed := 0
 	var reclaimed int64
-	for _, id := range victims {
-		n, err := d.store.RemoveJob(id)
+	for i := range victims {
+		n, err := d.store.RemoveJob(victims[i].id)
 		if err != nil {
+			victims[i].bytes = -1 // skipped; keep the record
 			continue
 		}
-		delete(d.jobs, id)
+		delete(d.jobs, victims[i].id)
+		victims[i].bytes = n
 		removed++
 		reclaimed += n
 	}
 	d.mu.Unlock()
 	if removed > 0 {
-		obs.Emit(d.rec(), "service", "store.gc",
+		// One event per reclaimed job closes its trace ("this record left
+		// the store"), plus an aggregate for dashboard rates.
+		for _, v := range victims {
+			if v.bytes < 0 {
+				continue
+			}
+			obs.Emit(d.rec(), "service", "gc.reclaimed",
+				obs.F("trace_id", v.trace), obs.F("job", v.id),
+				obs.F("reclaimed_bytes", v.bytes))
+		}
+		obs.Emit(d.rec(), "service", "gc.pass",
 			obs.F("removed", removed), obs.F("reclaimed_bytes", reclaimed))
 		d.counter("service.gc_removed", int64(removed))
 		d.counter("service.gc_reclaimed_bytes", reclaimed)

@@ -106,6 +106,7 @@ func normalize(j *Job) *Job {
 	c.Submitted, c.Started, c.Finished, c.NotBefore = time.Time{}, time.Time{}, time.Time{}, time.Time{}
 	c.Attempts, c.Panics = 0, 0
 	c.Error, c.Checkpoint = "", nil
+	c.TraceID = "" // random per submission, never affects the outcome
 	if c.Result != nil {
 		c.Result.SolveMillis = 0
 	}

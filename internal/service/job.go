@@ -177,8 +177,13 @@ func terminal(state string) bool {
 // Job is the persisted unit of work — one file in the store per job,
 // rewritten atomically on every state transition.
 type Job struct {
-	ID        string    `json:"id"`
-	Client    string    `json:"client,omitempty"`
+	ID     string `json:"id"`
+	Client string `json:"client,omitempty"`
+	// TraceID correlates every obs event of this job across daemons,
+	// attempts and steals: minted at submit (or accepted from the
+	// X-Afa-Trace-Id header) and persisted with the record, so one grep
+	// over the JSONL sinks of N daemons reconstructs the full lifecycle.
+	TraceID   string    `json:"trace_id,omitempty"`
 	Spec      JobSpec   `json:"spec"`
 	State     string    `json:"state"`
 	Submitted time.Time `json:"submitted"`
@@ -209,6 +214,11 @@ type Job struct {
 	// it was stuck and must discard its outcome. Deliberately not
 	// serialized — cross-process fencing uses the lease file itself.
 	gen int64
+	// enqueued is when the job last entered the queue (guarded by the
+	// daemon lock, like gen); acquire turns it into the queue-wait
+	// histogram sample. Not serialized — a restart's wait measures from
+	// the re-enqueue, not the original submit.
+	enqueued time.Time
 }
 
 // JobResult is the outcome of a finished job. SolveMillis is

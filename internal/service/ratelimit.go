@@ -2,6 +2,7 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +17,10 @@ type rateLimiter struct {
 	rate    float64
 	burst   float64
 	buckets map[string]*bucket
+	// denied counts refusals over the limiter's lifetime; surfaced as
+	// the ratelimit.denied event's running total and the
+	// service.ratelimit_denied counter.
+	denied atomic.Int64
 }
 
 type bucket struct {
@@ -56,11 +61,15 @@ func (rl *rateLimiter) allow(client string) (bool, time.Duration) {
 	}
 	if b.tokens < 1 {
 		wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+		rl.denied.Add(1)
 		return false, wait
 	}
 	b.tokens--
 	return true, 0
 }
+
+// deniedCount returns the lifetime refusal tally.
+func (rl *rateLimiter) deniedCount() int64 { return rl.denied.Load() }
 
 // prune drops full buckets (indistinguishable from fresh ones) except
 // the one in use, bounding the map against client-name churn.

@@ -8,15 +8,21 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"sha3afa/internal/obs"
 )
 
 // Server is the HTTP front-end of a Daemon. Routes:
 //
-//	POST /v1/jobs             submit a JobSpec, 202 + job snapshot
+//	POST /v1/jobs             submit a JobSpec, 202 + job snapshot; honours
+//	                          an X-Afa-Trace-Id request header and echoes
+//	                          the effective trace ID back in the response
 //	GET  /v1/jobs             list all jobs (submission order)
 //	GET  /v1/jobs/{id}        one job snapshot (poll for progress)
 //	GET  /v1/jobs/{id}/events the job's JSONL event tail
+//	GET  /v1/jobs/{id}/flight flight record of the last hard-failing attempt
 //	GET  /v1/quarantine       the poison jobs (with last error + checkpoint)
+//	GET  /metrics             Prometheus text exposition of the daemon metrics
 //	GET  /healthz             liveness + drain state
 //	     /debug/...           obs metrics/trace/pprof (when a Recorder is set)
 //
@@ -39,7 +45,9 @@ func NewServer(d *Daemon) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.get)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/flight", s.flight)
 	s.mux.HandleFunc("GET /v1/quarantine", s.quarantine)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
 	s.mux.HandleFunc("GET /healthz", s.health)
 	if d.opts.Recorder != nil {
 		s.mux.Handle("/debug/", d.opts.Recorder.DebugMux())
@@ -111,9 +119,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
-	job, err := s.d.Submit(spec, client)
+	job, err := s.d.SubmitTraced(spec, client, strings.TrimSpace(r.Header.Get("X-Afa-Trace-Id")))
 	switch {
 	case err == nil:
+		w.Header().Set("X-Afa-Trace-Id", job.TraceID)
 		writeJSON(w, http.StatusAccepted, job)
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", retrySeconds(s.d.RetryAfterDrain()))
@@ -156,6 +165,38 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	_, _ = w.Write(data)
+}
+
+func (s *Server) flight(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.d.Job(id) == nil {
+		writeErr(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	data, err := s.d.Flight(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if len(data) == 0 {
+		writeErr(w, http.StatusNotFound, "no flight record (no attempt failed hard enough)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_, _ = w.Write(data)
+}
+
+// metrics serves the daemon registry in Prometheus text exposition
+// format. Without a recorder there is nothing to scrape; a comment-only
+// body keeps the endpoint well-formed for probes either way.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentTypePrometheus)
+	m := s.d.Metrics()
+	if m == nil {
+		_, _ = w.Write([]byte("# no recorder configured\n"))
+		return
+	}
+	_ = m.WritePrometheus(w)
 }
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {

@@ -9,14 +9,17 @@ import (
 	"strings"
 
 	"sha3afa/internal/campaign"
+	"sha3afa/internal/obs"
 )
 
 // Store persists jobs, their event tails and their leases under one
 // state directory:
 //
-//	<dir>/jobs/<id>.json     job record, atomic-rename on every transition
-//	<dir>/events/<id>.jsonl  append-only obs event tail of the job's runs
-//	<dir>/leases/<id>.json   worker ownership record (lease.go)
+//	<dir>/jobs/<id>.json          job record, atomic-rename on every transition
+//	<dir>/jobs/<id>.flight.jsonl  flight recorder: event ring of the last
+//	                              failing attempt (quarantine/panic/deadline)
+//	<dir>/events/<id>.jsonl       append-only obs event tail of the job's runs
+//	<dir>/leases/<id>.json        worker ownership record (lease.go)
 //
 // The job and lease files reuse the campaign checkpoint discipline
 // (campaign.WriteJSONAtomic): a crash mid-write never leaves a torn
@@ -42,6 +45,31 @@ func (s *Store) jobPath(id string) string {
 // EventsPath returns the job's JSONL event file path.
 func (s *Store) EventsPath(id string) string {
 	return filepath.Join(s.dir, "events", id+".jsonl")
+}
+
+// FlightPath returns the job's flight-recorder file path. It lives
+// next to the job record (and therefore next to the quarantine
+// checkpoint inside it) but with a suffix LoadJobs skips, so a state
+// directory full of post-mortems restarts cleanly.
+func (s *Store) FlightPath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+".flight.jsonl")
+}
+
+// SaveFlight persists the flight-recorder ring of a failing attempt as
+// JSONL. Each save replaces the previous one: the file always holds
+// the *last* failing attempt, the one a post-mortem wants.
+func (s *Store) SaveFlight(id string, events []obs.Event) error {
+	return os.WriteFile(s.FlightPath(id), obs.AppendJSONL(nil, events), 0o644)
+}
+
+// ReadFlight returns the raw flight record of a job, or nil when no
+// attempt has crashed badly enough to write one.
+func (s *Store) ReadFlight(id string) ([]byte, error) {
+	data, err := os.ReadFile(s.FlightPath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return data, err
 }
 
 // SaveJob persists one job record atomically.
@@ -78,7 +106,7 @@ func (s *Store) ReadJob(id string) (*Job, error) {
 // state directory from accumulating every terminal job ever run.
 func (s *Store) RemoveJob(id string) (int64, error) {
 	var reclaimed int64
-	for _, path := range []string{s.jobPath(id), s.EventsPath(id)} {
+	for _, path := range []string{s.jobPath(id), s.EventsPath(id), s.FlightPath(id)} {
 		fi, err := os.Stat(path)
 		if os.IsNotExist(err) {
 			continue

@@ -1,0 +1,266 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sha3afa/internal/keccak"
+	"sha3afa/internal/obs"
+)
+
+// traceOpts is a single-worker daemon with a ring-only recorder,
+// enough to observe events and metrics without a sink file.
+func traceOpts(dir string) Options {
+	return Options{
+		StateDir: dir,
+		Workers:  1,
+		Recorder: obs.NewTrace(nil, 4096),
+	}
+}
+
+// TestTraceIDHeaderPropagation: a client-supplied X-Afa-Trace-Id must
+// ride the job record, the response header, the on-disk event tail and
+// the daemon-wide sink — the end-to-end correlation contract.
+func TestTraceIDHeaderPropagation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	d, err := New(traceOpts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	const want = "trace-test-0123_ABC"
+	body, _ := json.Marshal(inconsistentSpec(keccak.SHA3_224, "1-bit", true, "traced"))
+	req, _ := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader(body))
+	req.Header.Set("X-Afa-Trace-Id", want)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Afa-Trace-Id"); got != want {
+		t.Errorf("response trace header = %q, want %q", got, want)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if j.TraceID != want {
+		t.Fatalf("job trace_id = %q, want %q", j.TraceID, want)
+	}
+
+	waitDone(t, base, []string{j.ID}, time.Minute)
+
+	// The persisted record still carries it.
+	if got := httpJob(t, base, j.ID); got.TraceID != want {
+		t.Errorf("finished job trace_id = %q, want %q", got.TraceID, want)
+	}
+	// Every event of the on-disk tail is stamped.
+	tail, err := d.Events(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) == 0 {
+		t.Fatal("empty event tail")
+	}
+	for _, line := range bytes.Split(bytes.TrimSpace(tail), []byte("\n")) {
+		var e traceEvent
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("tail line not JSON: %v: %s", err, line)
+		}
+		if e.str("trace_id") != want {
+			t.Errorf("tail event %s trace_id = %q, want %q", e.Ev, e.str("trace_id"), want)
+		}
+	}
+	// The daemon-wide sink saw the full lifecycle under the same ID.
+	var sawSubmit, sawStart, sawFinish bool
+	for _, e := range d.opts.Recorder.Events() {
+		if f, _ := e.Fields["trace_id"].(string); f != want {
+			continue
+		}
+		switch e.Ev {
+		case "job.submitted":
+			sawSubmit = true
+		case "job.start":
+			sawStart = true
+			if o, _ := e.Fields["owner"].(string); o == "" {
+				t.Error("job.start in daemon sink missing owner")
+			}
+		case "job.finish":
+			sawFinish = true
+		}
+	}
+	if !sawSubmit || !sawStart || !sawFinish {
+		t.Errorf("daemon sink lifecycle incomplete: submit=%v start=%v finish=%v",
+			sawSubmit, sawStart, sawFinish)
+	}
+	srv.Close()
+	d.Drain()
+}
+
+func TestTraceIDMintedWhenAbsentOrInvalid(t *testing.T) {
+	d, err := New(Options{StateDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := inconsistentSpec(keccak.SHA3_224, "1-bit", true, "minted")
+	j1, err := d.Submit(spec, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.TraceID == "" || !validTraceID(j1.TraceID) {
+		t.Errorf("minted trace_id = %q, want non-empty valid", j1.TraceID)
+	}
+	j2, err := d.SubmitTraced(spec, "c", "bad id\nwith junk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.TraceID == "bad id\nwith junk" || !validTraceID(j2.TraceID) {
+		t.Errorf("invalid client trace accepted: %q", j2.TraceID)
+	}
+	if j1.TraceID == j2.TraceID {
+		t.Error("two submissions minted the same trace_id")
+	}
+	d.Drain()
+}
+
+func TestValidTraceID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"abc-123_XYZ":           true,
+		"a":                     true,
+		strings.Repeat("x", 64): true,
+		strings.Repeat("x", 65): false,
+		"":                      false,
+		"has space":             false,
+		"has\nnl":               false,
+		"päth":                  false,
+	} {
+		if got := validTraceID(id); got != want {
+			t.Errorf("validTraceID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestMetricsEndpoint: after one job solves, GET /metrics must serve
+// well-formed Prometheus text including the queue-wait and
+// attempt-duration histograms of the tentpole contract.
+func TestMetricsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver test skipped in -short mode")
+	}
+	d, err := New(traceOpts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(d)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	j, code := httpSubmit(t, base, inconsistentSpec(keccak.SHA3_224, "1-bit", true, "metrics"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitDone(t, base, []string{j.ID}, time.Minute)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypePrometheus {
+		t.Errorf("content type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE service_queue_wait_seconds histogram",
+		`service_queue_wait_seconds_bucket{le="+Inf"} 1`,
+		"# TYPE service_attempt_seconds histogram",
+		"service_attempt_seconds_count 1",
+		"# TYPE service_submitted_total counter",
+		"service_submitted_total 1",
+		"# TYPE attack_solve_seconds histogram", // span-fed solver phase histogram
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	srv.Close()
+	d.Drain()
+}
+
+// TestRatelimitDenied: a refused submit must surface as the
+// ratelimit.denied event (with the derived Retry-After) and the
+// service.ratelimit_denied counter.
+func TestRatelimitDenied(t *testing.T) {
+	dir := t.TempDir()
+	d, err := New(Options{
+		StateDir: dir,
+		Workers:  1,
+		Rate:     0.01, // one token per 100s: the second call must be denied
+		Burst:    1,
+		Recorder: obs.NewTrace(nil, 64),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := d.Allow("client-a"); !ok {
+		t.Fatal("first call should pass on the burst token")
+	}
+	ok, wait := d.Allow("client-a")
+	if ok {
+		t.Fatal("second call should be denied")
+	}
+	if wait <= 0 {
+		t.Errorf("denied wait = %v, want > 0", wait)
+	}
+	if d.limiter.deniedCount() != 1 {
+		t.Errorf("deniedCount = %d, want 1", d.limiter.deniedCount())
+	}
+	if got := d.Metrics().Counter("service.ratelimit_denied").Value(); got != 1 {
+		t.Errorf("service.ratelimit_denied = %d, want 1", got)
+	}
+	found := false
+	for _, e := range d.opts.Recorder.Events() {
+		if e.Ev == "ratelimit.denied" {
+			found = true
+			if c, _ := e.Fields["client"].(string); c != "client-a" {
+				t.Errorf("denied event client = %v", e.Fields)
+			}
+			if ms, _ := e.Fields["retry_after_ms"].(int64); ms <= 0 {
+				// JSON round-trips would give float64; in-ring it is int64.
+				if msf, _ := e.Fields["retry_after_ms"].(float64); msf <= 0 {
+					t.Errorf("denied event retry_after_ms = %v", e.Fields["retry_after_ms"])
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no ratelimit.denied event in the daemon sink")
+	}
+	d.Drain()
+}
